@@ -1,0 +1,1 @@
+examples/compartment_isolation.ml: Asm Capability Cheriot_core Cheriot_isa Cheriot_mem Cheriot_rtos Format Insn List Machine

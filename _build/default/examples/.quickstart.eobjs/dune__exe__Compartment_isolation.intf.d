@@ -1,0 +1,1 @@
+examples/compartment_isolation.mli:

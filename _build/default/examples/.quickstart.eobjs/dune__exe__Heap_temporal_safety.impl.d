@@ -1,0 +1,1 @@
+examples/heap_temporal_safety.ml: Capability Cheriot_core Cheriot_mem Cheriot_rtos Cheriot_uarch Fmt Format

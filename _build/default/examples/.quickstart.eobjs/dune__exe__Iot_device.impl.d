@@ -1,0 +1,1 @@
+examples/iot_device.ml: Array Cheriot_rtos Cheriot_workloads Format Sys

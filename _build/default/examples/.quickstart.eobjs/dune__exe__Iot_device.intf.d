@@ -1,0 +1,1 @@
+examples/iot_device.mli:

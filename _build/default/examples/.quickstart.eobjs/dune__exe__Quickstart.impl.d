@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Bounds Capability Cheriot_core Cheriot_isa Cheriot_mem Format Insn List Machine

@@ -1,0 +1,42 @@
+(* The end-to-end IoT device of paper 7.2.3.
+
+   A compartmentalized network stack (TCP/IP, TLS, MQTT), a JavaScript
+   interpreter animating LEDs every 10 ms, every packet and JS object a
+   temporally-safe heap allocation, on CHERIoT-Ibex at 20 MHz.
+
+   Run with:  dune exec examples/iot_device.exe [seconds]        *)
+
+module Iot_app = Cheriot_workloads.Iot_app
+module Allocator = Cheriot_rtos.Allocator
+
+let () =
+  let seconds =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 10.0
+  in
+  Format.printf "Booting the IoT device (Ibex @ 20 MHz)...@.";
+  Format.printf
+    "  compartments: tcpip | tls | mqtt | microvium | allocator@.";
+  Format.printf "  TLS session establishment + JS bytecode fetch, then %.0fs \
+                 of steady state@."
+    seconds;
+  let r = Iot_app.run ~seconds () in
+  Format.printf "@.--- after %.1f simulated seconds ---@." r.Iot_app.seconds;
+  Format.printf "  CPU load        : %5.1f %%   (paper, over 60s: 17.5%%)@."
+    r.Iot_app.cpu_load_percent;
+  Format.printf "  idle thread     : %5.1f %%   (paper: 82.5%%)@."
+    r.Iot_app.idle_percent;
+  Format.printf "  JS frames       : %d (every 10 ms)@." r.Iot_app.js_ticks;
+  Format.printf "  network packets : %d (each its own quarantined heap \
+                 allocation)@."
+    r.Iot_app.packets;
+  Format.printf "  heap allocations: %d@." r.Iot_app.allocations;
+  Format.printf "  revocation sweeps by the background engine: %d@."
+    r.Iot_app.sweeps;
+  Format.printf "  context switches: %d@." r.Iot_app.context_switches;
+  Format.printf "@.With the software revoker instead:@.";
+  let sw = Iot_app.run ~seconds ~temporal:Allocator.Software () in
+  Format.printf "  CPU load        : %5.1f %% (sweeps on the CPU: %d)@."
+    sw.Iot_app.cpu_load_percent sw.Iot_app.sweeps;
+  Format.printf
+    "@.Even the area-optimized core at 20 MHz runs this workload with \
+     plenty of headroom -- full memory safety included (7.2.3).@."

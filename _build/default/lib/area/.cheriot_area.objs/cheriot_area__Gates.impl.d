@@ -1,0 +1,1 @@
+lib/area/gates.ml: List

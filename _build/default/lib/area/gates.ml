@@ -1,0 +1,118 @@
+(** Block-level area and power model for the CHERIoT-Ibex variants
+    (paper 7.1, Table 2).
+
+    The paper synthesizes five Ibex variants on TSMC 28 nm HPC+ at
+    300 MHz and reports gate-equivalents and estimated power running
+    CoreMark.  We reproduce the table with a component inventory: each
+    variant is a sum of blocks, so the {e structure} of the deltas (what
+    each feature adds) is explicit and the ablations of DESIGN.md §5 can
+    reuse the blocks.  Block sizes are calibrated to the published totals;
+    power uses an activity-weighted model over the same blocks, reflecting
+    the paper's caveat that the pre-silicon estimate over-weights raw gate
+    count (the PMP's comparators switch on every access, while most CHERI
+    logic is idle outside capability operations). *)
+
+type block = { b_name : string; gates : int; activity : float }
+(** [activity] is the average fraction of cycles the block switches while
+    running CoreMark — the weight used by the power model. *)
+
+type variant = {
+  v_name : string;
+  blocks : block list;
+}
+
+(* The RV32E Ibex baseline: 26 988 GE total. *)
+let rv32e_blocks =
+  [
+    { b_name = "ifetch + prefetch"; gates = 4100; activity = 0.9 };
+    { b_name = "decoder"; gates = 3300; activity = 0.8 };
+    { b_name = "ALU"; gates = 3900; activity = 0.8 };
+    { b_name = "multiplier/divider"; gates = 4800; activity = 0.15 };
+    { b_name = "register file (16 x 32)"; gates = 6088; activity = 0.5 };
+    { b_name = "LSU"; gates = 2300; activity = 0.35 };
+    { b_name = "CSRs + debug"; gates = 2500; activity = 0.2 };
+  ]
+
+(* A 16-entry RISC-V PMP: per-entry address registers and comparators,
+   engaged on every load/store/fetch. *)
+let pmp16_blocks =
+  [
+    { b_name = "PMP CSRs (16 x addr+cfg)"; gates = 14200; activity = 0.08 };
+    { b_name = "PMP comparators (16-way)"; gates = 12400; activity = 0.45 };
+    { b_name = "PMP grant logic"; gates = 2317; activity = 0.25 };
+  ]
+
+(* The CHERIoT extension: 64-bit register file, bounds decode/check,
+   permission logic, sealing, representability check. *)
+let cheriot_blocks =
+  [
+    { b_name = "register file widening (16 x 64 + tags)"; gates = 6100; activity = 0.5 };
+    { b_name = "bounds decode (E/B/T + corrections)"; gates = 7900; activity = 0.40 };
+    { b_name = "bounds/representability check"; gates = 6200; activity = 0.40 };
+    { b_name = "permission decode + checks"; gates = 3400; activity = 0.40 };
+    { b_name = "sealing/otype + sentry logic"; gates = 2600; activity = 0.08 };
+    { b_name = "cap ALU (setbounds/andperm/seal datapath)"; gates = 4922; activity = 0.26 };
+  ]
+
+(* The load filter: a revocation-bit port and a tag-strip mux in WB. *)
+let load_filter_blocks =
+  [ { b_name = "load filter (revbit lookup + strip)"; gates = 321; activity = 0.03 } ]
+
+(* The 2-stage background revoker engine: address registers, two in-flight
+   slots, snoop comparators, MMIO. *)
+let revoker_blocks =
+  [
+    { b_name = "revoker state machine + slots (clocked)"; gates = 1870; activity = 0.40 };
+    { b_name = "revoker snoop comparators (every store)"; gates = 680; activity = 0.90 };
+    { b_name = "revoker MMIO regs"; gates = 441; activity = 0.35 };
+  ]
+
+let variants =
+  [
+    { v_name = "RV32E"; blocks = rv32e_blocks };
+    { v_name = "RV32E + PMP16"; blocks = rv32e_blocks @ pmp16_blocks };
+    { v_name = "RV32E + capabilities"; blocks = rv32e_blocks @ cheriot_blocks };
+    {
+      v_name = "  + load filter";
+      blocks = rv32e_blocks @ cheriot_blocks @ load_filter_blocks;
+    };
+    {
+      v_name = "    + background revoker";
+      blocks =
+        rv32e_blocks @ cheriot_blocks @ load_filter_blocks @ revoker_blocks;
+    };
+  ]
+
+let total_gates v = List.fold_left (fun a b -> a + b.gates) 0 v.blocks
+
+(* Power in mW at 300 MHz, 28 nm: dynamic power proportional to
+   activity-weighted gates plus leakage proportional to total gates.
+   The two coefficients are calibrated on the RV32E row (1.437 mW). *)
+let dynamic_coeff = 9.897e-5
+let leakage_coeff = 0.0 (* leakage is negligible at these sizes on HPC+ *)
+
+let power_mw v =
+  let dyn =
+    List.fold_left
+      (fun a b -> a +. (float_of_int b.gates *. b.activity))
+      0.0 v.blocks
+    *. dynamic_coeff
+  in
+  let leak = float_of_int (total_gates v) *. leakage_coeff in
+  dyn +. leak
+
+let baseline = List.hd variants
+
+let table2 () =
+  List.map
+    (fun v ->
+      ( v.v_name,
+        total_gates v,
+        float_of_int (total_gates v) /. float_of_int (total_gates baseline),
+        power_mw v,
+        power_mw v /. power_mw baseline ))
+    variants
+
+(** f_max: all variants close timing at 330 MHz (7.1) — the load filter
+    and revoker are off the critical path (Fig. 4). *)
+let fmax_mhz _ = 330

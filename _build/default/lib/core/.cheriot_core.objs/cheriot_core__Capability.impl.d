@@ -1,0 +1,1 @@
+lib/core/capability.ml: Bounds Format Int64 Option Otype Perm

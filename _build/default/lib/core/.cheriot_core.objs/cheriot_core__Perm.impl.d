@@ -1,0 +1,1 @@
+lib/core/perm.ml: Format Int List

@@ -1,0 +1,129 @@
+(** CHERIoT capabilities (paper 3.2, Fig. 1).
+
+    A capability is a 64-bit value — a 32-bit address plus a 32-bit
+    metadata word laid out as
+
+    {v 31  30..25  24..22  21..18  17..9  8..0
+        R    p'6     o'3     E'4    B'9    T'9   v}
+
+    — together with an out-of-band validity {e tag}.  All manipulation is
+    {e guarded}: bounds may be narrowed but never widened nor displaced,
+    permissions shed but never regained, and tags cleared but never set
+    (except by deriving from a tagged capability).  The three hardware
+    roots (memory-rw, executable, sealing) are the only initially tagged
+    values. *)
+
+type t = {
+  tag : bool;
+  perms : Perm.Set.t;  (** always a representable (legalized) set *)
+  otype : Otype.t;
+  bounds : Bounds.t;
+  addr : int;  (** 32-bit address *)
+  reserved : bool;  (** the R bit of Fig. 1; unused, preserved *)
+}
+
+(** {1 Construction} *)
+
+val null : t
+(** The untagged all-zeros capability (the [cnull] register value). *)
+
+val root_mem_rw : t
+(** Memory read-write root: whole address space, GL LD SD MC SL LM LG. *)
+
+val root_executable : t
+(** Executable root: whole address space, GL EX LD MC SR LM LG. *)
+
+val root_sealing : t
+(** Sealing root: otype space [0,8), GL U0 SE US. *)
+
+val roots : t list
+(** The three roots present in registers at CPU reset (3.1.1). *)
+
+(** {1 Accessors} *)
+
+val address : t -> int
+val base : t -> int
+val top : t -> int
+(** Decoded top; a 33-bit value, possibly 2{^ 32}. *)
+
+val length : t -> int
+(** [max 0 (top - base)]. *)
+
+val perms : t -> Perm.Set.t
+val has_perm : t -> Perm.t -> bool
+val otype : t -> Otype.t
+val is_sealed : t -> bool
+val is_sentry : t -> bool
+val sentry_kind : t -> Otype.sentry option
+
+val is_global : t -> bool
+(** Has the GL permission — may be stored through non-SL capabilities. *)
+
+val in_bounds : t -> ?size:int -> int -> bool
+(** [in_bounds c ~size a]: is the access [[a, a+size)] within bounds?
+    [size] defaults to 1. *)
+
+(** {1 Guarded manipulation}
+
+    These functions implement the value-level semantics of the
+    capability-manipulation instructions.  They never widen authority:
+    when a requested change would, the result's tag is cleared (matching
+    the ISA behaviour for non-trapping violations; trapping checks live in
+    the ISA layer). *)
+
+val with_address : t -> int -> t
+(** [CSetAddr]: change the address.  Clears the tag if the capability is
+    sealed or if the new address is not representable (3.2.3). *)
+
+val incr_address : t -> int -> t
+(** [CIncAddr]: add an offset to the address; same tag-clearing rules. *)
+
+val set_bounds : t -> length:int -> exact:bool -> t
+(** [CSetBounds[Exact]]: narrow bounds to [[addr, addr+length)] (rounded
+    outward unless [exact]).  Clears the tag if the capability is sealed,
+    the requested region is not within current bounds, or ([exact]) the
+    region is not exactly representable. *)
+
+val and_perms : t -> Perm.Set.t -> t
+(** [CAndPerm]: intersect permissions with a mask, then legalize to the
+    largest representable subset (3.2.1).  Clears the tag if sealed and
+    the mask would change the permissions. *)
+
+val clear_tag : t -> t
+
+val clear_perms : t -> Perm.t list -> t
+(** Convenience: [and_perms] with the complement of the given list. *)
+
+val seal : t -> key:t -> (t, string) result
+(** [CSeal]: seal [t] with the otype named by [key]'s address.  Requires
+    [key] tagged, unsealed, with SE, address in bounds and a valid otype
+    value (1–7); the otype namespace is chosen by [t]'s EX permission. *)
+
+val unseal : t -> key:t -> (t, string) result
+(** [CUnseal]: requires [key] tagged, unsealed, with US, address in bounds
+    and equal to [t]'s otype value in the matching namespace.  The result
+    keeps GL only if [key] has GL. *)
+
+val seal_sentry : t -> Otype.sentry -> (t, string) result
+(** Seal an executable capability as a sentry (no key: performed by the
+    jump-and-link datapath and by the loader). *)
+
+val load_attenuate : authority:t -> t -> t
+(** The load-side recursive attenuation of 3.1.1: a capability loaded via
+    an authority lacking LG has GL and LG cleared; via an authority
+    lacking LM (if unsealed) has LM and SD cleared. *)
+
+val is_subset : t -> of_:t -> bool
+(** [CTestSubset]: tag equal, bounds nested and permissions included. *)
+
+(** {1 Encoding} *)
+
+val to_word : t -> int64
+(** Pack to the 64-bit memory representation: metadata word (Fig. 1) in
+    bits 63–32, address in bits 31–0.  The tag travels out of band. *)
+
+val of_word : tag:bool -> int64 -> t
+(** Decode a 64-bit memory word.  Total: every bit pattern decodes. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

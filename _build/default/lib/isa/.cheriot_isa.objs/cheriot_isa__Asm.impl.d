@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Cheriot_mem Encode Hashtbl Insn List

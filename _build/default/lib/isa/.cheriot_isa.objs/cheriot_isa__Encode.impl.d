@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Insn Option Printf Sys

@@ -1,0 +1,1 @@
+lib/isa/machine.ml: Array Bounds Capability Cheriot_core Cheriot_mem Csr Encode Format Insn Otype Perm Stdlib

@@ -1,0 +1,1 @@
+lib/isa/machine.mli: Cheriot_core Cheriot_mem Format Insn

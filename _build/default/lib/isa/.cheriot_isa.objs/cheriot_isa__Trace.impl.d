@@ -1,0 +1,1 @@
+lib/isa/trace.ml: Capability Cheriot_core Format Insn Machine

@@ -1,0 +1,84 @@
+type item =
+  | Label of string
+  | I of Insn.t
+  | B of Insn.branch_cond * Insn.reg * Insn.reg * string
+  | J of Insn.reg * string
+  | Call of string
+  | Ret
+  | Li of Insn.reg * int
+  | La_int of Insn.reg * string
+  | Word of int
+  | Space of int
+
+type image = { origin : int; words : int array; labels : (string * int) list }
+
+let size_of = function
+  | Label _ -> 0
+  | I _ | B _ | J _ | Call _ | Ret | Word _ -> 4
+  | Li _ | La_int _ -> 8
+  | Space n -> 4 * n
+
+(* lui+addi pair computing a 32-bit constant. *)
+let li_pair rd v =
+  let v = v land 0xFFFF_FFFF in
+  let lo = ((v land 0xfff) lxor 0x800) - 0x800 in
+  let hi = (v - lo) land 0xFFFF_FFFF in
+  [ Insn.Lui (rd, (hi lsr 12) land 0xfffff); Insn.Op_imm (Add, rd, rd, lo) ]
+
+let assemble ~origin items =
+  let labels = Hashtbl.create 16 in
+  let pc = ref origin in
+  List.iter
+    (fun item ->
+      (match item with
+      | Label l ->
+          if Hashtbl.mem labels l then failwith ("duplicate label " ^ l);
+          Hashtbl.add labels l !pc
+      | _ -> ());
+      pc := !pc + size_of item)
+    items;
+  let resolve l =
+    match Hashtbl.find_opt labels l with
+    | Some a -> a
+    | None -> failwith ("undefined label " ^ l)
+  in
+  let words = ref [] in
+  let emit w = words := (w land 0xFFFF_FFFF) :: !words in
+  let emit_insn i = emit (Encode.encode i) in
+  let pc = ref origin in
+  List.iter
+    (fun item ->
+      (match item with
+      | Label _ -> ()
+      | I i -> emit_insn i
+      | B (cond, rs1, rs2, l) ->
+          emit_insn (Insn.Branch (cond, rs1, rs2, resolve l - !pc))
+      | J (rd, l) -> emit_insn (Insn.Jal (rd, resolve l - !pc))
+      | Call l -> emit_insn (Insn.Jal (Insn.reg_ra, resolve l - !pc))
+      | Ret -> emit_insn (Insn.Jalr (Insn.reg_zero, Insn.reg_ra, 0))
+      | Li (rd, v) -> List.iter emit_insn (li_pair rd v)
+      | La_int (rd, l) -> List.iter emit_insn (li_pair rd (resolve l))
+      | Word w -> emit w
+      | Space n ->
+          for _ = 1 to n do
+            emit 0
+          done);
+      pc := !pc + size_of item)
+    items;
+  {
+    origin;
+    words = Array.of_list (List.rev !words);
+    labels = Hashtbl.fold (fun k v acc -> (k, v) :: acc) labels [];
+  }
+
+let label img l =
+  match List.assoc_opt l img.labels with
+  | Some a -> a
+  | None -> raise Not_found
+
+let load img sram =
+  Array.iteri
+    (fun i w -> Cheriot_mem.Sram.write32 sram (img.origin + (4 * i)) w)
+    img.words
+
+let bytes_size img = 4 * Array.length img.words

@@ -1,0 +1,43 @@
+(** A small two-pass assembler for writing firmware, test programs and the
+    CoreMark-shaped benchmark kernels.
+
+    Programs are lists of {!item}s; labels are resolved in a first pass
+    (every item has a fixed size, so resolution is exact), then encoded.
+    The result is a list of 32-bit words to be blitted into SRAM plus the
+    resolved label addresses. *)
+
+type item =
+  | Label of string
+  | I of Insn.t  (** a concrete instruction *)
+  | B of Insn.branch_cond * Insn.reg * Insn.reg * string
+      (** conditional branch to a label *)
+  | J of Insn.reg * string  (** jump-and-link to a label *)
+  | Call of string  (** [J (ra, l)] *)
+  | Ret  (** [Jalr (zero, ra, 0)] — unseals the return sentry *)
+  | Li of Insn.reg * int  (** load 32-bit constant (always 2 insns) *)
+  | La_int of Insn.reg * string
+      (** load a label's address as an integer (2 insns); capability-mode
+          code then [Csetaddr]s it onto an authorizing capability *)
+  | Word of int  (** raw 32-bit data word *)
+  | Space of int  (** [n] zero words *)
+
+type image = {
+  origin : int;
+  words : int array;
+  labels : (string * int) list;
+}
+
+val size_of : item -> int
+(** Size in bytes (fixed per constructor). *)
+
+val assemble : origin:int -> item list -> image
+(** Resolve labels and encode.  Raises [Failure] on undefined or duplicate
+    labels and on out-of-range branch offsets. *)
+
+val label : image -> string -> int
+(** Resolved address of a label.  Raises [Not_found]. *)
+
+val load : image -> Cheriot_mem.Sram.t -> unit
+(** Blit the image into SRAM at its origin. *)
+
+val bytes_size : image -> int

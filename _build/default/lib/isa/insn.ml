@@ -1,0 +1,265 @@
+(** The CHERIoT instruction set: the RV32EM base integer instructions plus
+    the CHERIoT capability extension (paper 3).
+
+    Registers are the sixteen RV32E capability registers [c0]–[c15];
+    [c0] is the NULL capability / hard-wired zero.  In baseline (non-CHERI)
+    mode the same instructions operate on the address field only and
+    memory accesses are authorized by an implicit full-authority default
+    data capability, which is how the Table 3 RV32E baseline runs on the
+    same machine. *)
+
+type reg = int
+(** Register number, 0..15. *)
+
+(** ABI names used by the assembler and the RTOS (RV32E subset). *)
+let reg_zero = 0
+
+let reg_ra = 1
+let reg_sp = 2
+let reg_gp = 3
+let reg_tp = 4
+let reg_t0 = 5
+let reg_t1 = 6
+let reg_t2 = 7
+let reg_s0 = 8
+let reg_s1 = 9
+let reg_a0 = 10
+let reg_a1 = 11
+let reg_a2 = 12
+let reg_a3 = 13
+let reg_a4 = 14
+let reg_a5 = 15
+
+type branch_cond = Eq | Ne | Lt | Ge | Ltu | Geu
+
+type alu =
+  | Add
+  | Sub  (** register form only *)
+  | Sll
+  | Slt
+  | Sltu
+  | Xor
+  | Srl
+  | Sra
+  | Or
+  | And
+
+type muldiv = Mul | Mulh | Mulhsu | Mulhu | Div | Divu | Rem | Remu
+
+type width = B | H | W
+(** Memory access width: byte, halfword, word. *)
+
+(** Special capability registers, accessed via [CSpecialRW] with PCC.SR
+    permission (paper 3.1.2). *)
+type scr = MTCC | MTDC | MScratchC | MEPCC
+
+(** Capability field getters ([CGetAddr] etc.). *)
+type getter = Addr | Base | Top | Len | Perm | Type | Tag
+
+type csr_op = Csrrw | Csrrs | Csrrc
+
+type t =
+  (* RV32I base *)
+  | Lui of reg * int  (** [Lui (rd, imm20)]: rd := imm20 << 12 *)
+  | Auipcc of reg * int
+      (** AUIPC; in CHERIoT mode derives a PCC-relative capability *)
+  | Jal of reg * int  (** CJAL: link is a return sentry (3.1.2) *)
+  | Jalr of reg * reg * int  (** CJALR: unseals sentries *)
+  | Branch of branch_cond * reg * reg * int
+  | Load of { signed : bool; width : width; rd : reg; rs1 : reg; off : int }
+  | Store of { width : width; rs2 : reg; rs1 : reg; off : int }
+  | Op_imm of alu * reg * reg * int
+  | Op of alu * reg * reg * reg
+  | Mul_div of muldiv * reg * reg * reg
+  | Ecall
+  | Ebreak
+  | Mret
+  | Wfi
+  | Csr of csr_op * reg * reg * int  (** [Csr (op, rd, rs1, csr)] *)
+  (* CHERIoT capability extension *)
+  | Clc of reg * reg * int  (** load capability; subject to the load filter *)
+  | Csc of reg * reg * int  (** store capability; SL check *)
+  | Cincaddr of reg * reg * reg
+  | Cincaddrimm of reg * reg * int
+  | Csetaddr of reg * reg * reg
+  | Csetbounds of reg * reg * reg
+  | Csetboundsexact of reg * reg * reg
+  | Csetboundsimm of reg * reg * int  (** unsigned 12-bit length *)
+  | Crrl of reg * reg  (** round representable length *)
+  | Cram of reg * reg  (** representable alignment mask *)
+  | Candperm of reg * reg * reg
+  | Ccleartag of reg * reg
+  | Cmove of reg * reg
+  | Cseal of reg * reg * reg  (** [Cseal (cd, cs1, cs2=key)] *)
+  | Cunseal of reg * reg * reg
+  | Cget of getter * reg * reg
+  | Csub of reg * reg * reg
+  | Ctestsubset of reg * reg * reg
+  | Csetequalexact of reg * reg * reg
+  | Cspecialrw of reg * scr * reg
+      (** [Cspecialrw (cd, scr, cs1)]: read SCR into cd, then if cs1 <> c0
+          write cs1 to the SCR.  Requires PCC.SR. *)
+
+let reg_name r =
+  [|
+    "zero"; "ra"; "sp"; "gp"; "tp"; "t0"; "t1"; "t2"; "s0"; "s1"; "a0"; "a1";
+    "a2"; "a3"; "a4"; "a5";
+  |].(r land 15)
+
+let branch_name = function
+  | Eq -> "beq"
+  | Ne -> "bne"
+  | Lt -> "blt"
+  | Ge -> "bge"
+  | Ltu -> "bltu"
+  | Geu -> "bgeu"
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Sll -> "sll"
+  | Slt -> "slt"
+  | Sltu -> "sltu"
+  | Xor -> "xor"
+  | Srl -> "srl"
+  | Sra -> "sra"
+  | Or -> "or"
+  | And -> "and"
+
+let muldiv_name = function
+  | Mul -> "mul"
+  | Mulh -> "mulh"
+  | Mulhsu -> "mulhsu"
+  | Mulhu -> "mulhu"
+  | Div -> "div"
+  | Divu -> "divu"
+  | Rem -> "rem"
+  | Remu -> "remu"
+
+let getter_name = function
+  | Addr -> "cgetaddr"
+  | Base -> "cgetbase"
+  | Top -> "cgettop"
+  | Len -> "cgetlen"
+  | Perm -> "cgetperm"
+  | Type -> "cgettype"
+  | Tag -> "cgettag"
+
+let scr_name = function
+  | MTCC -> "mtcc"
+  | MTDC -> "mtdc"
+  | MScratchC -> "mscratchc"
+  | MEPCC -> "mepcc"
+
+let width_name signed = function
+  | B -> if signed then "lb" else "lbu"
+  | H -> if signed then "lh" else "lhu"
+  | W -> "lw"
+
+let pp fmt i =
+  let r = reg_name in
+  match i with
+  | Lui (rd, imm) -> Format.fprintf fmt "lui %s, 0x%x" (r rd) imm
+  | Auipcc (rd, imm) -> Format.fprintf fmt "auipcc %s, 0x%x" (r rd) imm
+  | Jal (rd, off) -> Format.fprintf fmt "cjal %s, %d" (r rd) off
+  | Jalr (rd, rs1, off) ->
+      Format.fprintf fmt "cjalr %s, %s, %d" (r rd) (r rs1) off
+  | Branch (c, rs1, rs2, off) ->
+      Format.fprintf fmt "%s %s, %s, %d" (branch_name c) (r rs1) (r rs2) off
+  | Load { signed; width; rd; rs1; off } ->
+      Format.fprintf fmt "%s %s, %d(%s)" (width_name signed width) (r rd) off
+        (r rs1)
+  | Store { width; rs2; rs1; off } ->
+      let n = match width with B -> "sb" | H -> "sh" | W -> "sw" in
+      Format.fprintf fmt "%s %s, %d(%s)" n (r rs2) off (r rs1)
+  | Op_imm (op, rd, rs1, imm) ->
+      Format.fprintf fmt "%si %s, %s, %d" (alu_name op) (r rd) (r rs1) imm
+  | Op (op, rd, rs1, rs2) ->
+      Format.fprintf fmt "%s %s, %s, %s" (alu_name op) (r rd) (r rs1) (r rs2)
+  | Mul_div (op, rd, rs1, rs2) ->
+      Format.fprintf fmt "%s %s, %s, %s" (muldiv_name op) (r rd) (r rs1)
+        (r rs2)
+  | Ecall -> Format.pp_print_string fmt "ecall"
+  | Ebreak -> Format.pp_print_string fmt "ebreak"
+  | Mret -> Format.pp_print_string fmt "mret"
+  | Wfi -> Format.pp_print_string fmt "wfi"
+  | Csr (op, rd, rs1, csr) ->
+      let n =
+        match op with
+        | Csrrw -> "csrrw"
+        | Csrrs -> "csrrs"
+        | Csrrc -> "csrrc"
+      in
+      Format.fprintf fmt "%s %s, 0x%x, %s" n (r rd) csr (r rs1)
+  | Clc (rd, rs1, off) ->
+      Format.fprintf fmt "clc %s, %d(%s)" (r rd) off (r rs1)
+  | Csc (rs2, rs1, off) ->
+      Format.fprintf fmt "csc %s, %d(%s)" (r rs2) off (r rs1)
+  | Cincaddr (cd, cs1, rs2) ->
+      Format.fprintf fmt "cincaddr %s, %s, %s" (r cd) (r cs1) (r rs2)
+  | Cincaddrimm (cd, cs1, imm) ->
+      Format.fprintf fmt "cincaddrimm %s, %s, %d" (r cd) (r cs1) imm
+  | Csetaddr (cd, cs1, rs2) ->
+      Format.fprintf fmt "csetaddr %s, %s, %s" (r cd) (r cs1) (r rs2)
+  | Csetbounds (cd, cs1, rs2) ->
+      Format.fprintf fmt "csetbounds %s, %s, %s" (r cd) (r cs1) (r rs2)
+  | Csetboundsexact (cd, cs1, rs2) ->
+      Format.fprintf fmt "csetboundsexact %s, %s, %s" (r cd) (r cs1) (r rs2)
+  | Csetboundsimm (cd, cs1, imm) ->
+      Format.fprintf fmt "csetbounds %s, %s, %d" (r cd) (r cs1) imm
+  | Crrl (rd, rs1) -> Format.fprintf fmt "crrl %s, %s" (r rd) (r rs1)
+  | Cram (rd, rs1) -> Format.fprintf fmt "cram %s, %s" (r rd) (r rs1)
+  | Candperm (cd, cs1, rs2) ->
+      Format.fprintf fmt "candperm %s, %s, %s" (r cd) (r cs1) (r rs2)
+  | Ccleartag (cd, cs1) ->
+      Format.fprintf fmt "ccleartag %s, %s" (r cd) (r cs1)
+  | Cmove (cd, cs1) -> Format.fprintf fmt "cmove %s, %s" (r cd) (r cs1)
+  | Cseal (cd, cs1, cs2) ->
+      Format.fprintf fmt "cseal %s, %s, %s" (r cd) (r cs1) (r cs2)
+  | Cunseal (cd, cs1, cs2) ->
+      Format.fprintf fmt "cunseal %s, %s, %s" (r cd) (r cs1) (r cs2)
+  | Cget (g, rd, cs1) ->
+      Format.fprintf fmt "%s %s, %s" (getter_name g) (r rd) (r cs1)
+  | Csub (rd, cs1, cs2) ->
+      Format.fprintf fmt "csub %s, %s, %s" (r rd) (r cs1) (r cs2)
+  | Ctestsubset (rd, cs1, cs2) ->
+      Format.fprintf fmt "ctestsubset %s, %s, %s" (r rd) (r cs1) (r cs2)
+  | Csetequalexact (rd, cs1, cs2) ->
+      Format.fprintf fmt "csetequalexact %s, %s, %s" (r rd) (r cs1) (r cs2)
+  | Cspecialrw (cd, scr, cs1) ->
+      Format.fprintf fmt "cspecialrw %s, %s, %s" (r cd) (scr_name scr) (r cs1)
+
+let to_string = Fmt.to_to_string pp
+
+(** Instruction classification used by the cycle models. *)
+type klass =
+  | K_alu
+  | K_mul
+  | K_div
+  | K_branch
+  | K_jump
+  | K_load of int  (** bytes *)
+  | K_store of int
+  | K_cap_load
+  | K_cap_store
+  | K_cap_alu  (** capability-field manipulation in the EX stage *)
+  | K_system
+
+let classify = function
+  | Lui _ | Op_imm _ | Op _ -> K_alu
+  | Mul_div ((Mul | Mulh | Mulhsu | Mulhu), _, _, _) -> K_mul
+  | Mul_div ((Div | Divu | Rem | Remu), _, _, _) -> K_div
+  | Branch _ -> K_branch
+  | Jal _ | Jalr _ -> K_jump
+  | Load { width; _ } ->
+      K_load (match width with B -> 1 | H -> 2 | W -> 4)
+  | Store { width; _ } ->
+      K_store (match width with B -> 1 | H -> 2 | W -> 4)
+  | Clc _ -> K_cap_load
+  | Csc _ -> K_cap_store
+  | Auipcc _ | Cincaddr _ | Cincaddrimm _ | Csetaddr _ | Csetbounds _
+  | Csetboundsexact _ | Csetboundsimm _ | Crrl _ | Cram _ | Candperm _
+  | Ccleartag _ | Cmove _ | Cseal _ | Cunseal _ | Cget _ | Csub _
+  | Ctestsubset _ | Csetequalexact _ ->
+      K_cap_alu
+  | Ecall | Ebreak | Mret | Wfi | Csr _ | Cspecialrw _ -> K_system

@@ -1,0 +1,719 @@
+open Cheriot_core
+module Bus = Cheriot_mem.Bus
+module Revbits = Cheriot_mem.Revbits
+
+type mode = Cheriot | Rv32
+
+type cheri_cause =
+  | Cheri_bounds
+  | Cheri_tag
+  | Cheri_seal
+  | Cheri_permit_execute
+  | Cheri_permit_load
+  | Cheri_permit_store
+  | Cheri_permit_load_cap
+  | Cheri_permit_store_cap
+  | Cheri_permit_store_local
+  | Cheri_permit_access_system_registers
+
+type cause =
+  | Illegal_instruction
+  | Breakpoint
+  | Load_misaligned
+  | Store_misaligned
+  | Load_access_fault
+  | Store_access_fault
+  | Ecall_m
+  | Cheri_fault of cheri_cause * int
+  | Interrupt_timer
+  | Interrupt_external
+
+let cheri_cause_code = function
+  | Cheri_bounds -> 0x01
+  | Cheri_tag -> 0x02
+  | Cheri_seal -> 0x03
+  | Cheri_permit_execute -> 0x11
+  | Cheri_permit_load -> 0x12
+  | Cheri_permit_store -> 0x13
+  | Cheri_permit_load_cap -> 0x14
+  | Cheri_permit_store_cap -> 0x15
+  | Cheri_permit_store_local -> 0x16
+  | Cheri_permit_access_system_registers -> 0x18
+
+let pp_cheri_cause fmt c =
+  Format.pp_print_string fmt
+    (match c with
+    | Cheri_bounds -> "bounds"
+    | Cheri_tag -> "tag"
+    | Cheri_seal -> "seal"
+    | Cheri_permit_execute -> "permit-execute"
+    | Cheri_permit_load -> "permit-load"
+    | Cheri_permit_store -> "permit-store"
+    | Cheri_permit_load_cap -> "permit-load-cap"
+    | Cheri_permit_store_cap -> "permit-store-cap"
+    | Cheri_permit_store_local -> "permit-store-local"
+    | Cheri_permit_access_system_registers -> "permit-access-system-registers")
+
+let pp_cause fmt = function
+  | Illegal_instruction -> Format.pp_print_string fmt "illegal instruction"
+  | Breakpoint -> Format.pp_print_string fmt "breakpoint"
+  | Load_misaligned -> Format.pp_print_string fmt "load misaligned"
+  | Store_misaligned -> Format.pp_print_string fmt "store misaligned"
+  | Load_access_fault -> Format.pp_print_string fmt "load access fault"
+  | Store_access_fault -> Format.pp_print_string fmt "store access fault"
+  | Ecall_m -> Format.pp_print_string fmt "ecall"
+  | Cheri_fault (c, r) ->
+      Format.fprintf fmt "CHERI fault: %a (reg %d)" pp_cheri_cause c r
+  | Interrupt_timer -> Format.pp_print_string fmt "timer interrupt"
+  | Interrupt_external -> Format.pp_print_string fmt "external interrupt"
+
+let mcause_of = function
+  | Illegal_instruction -> 2
+  | Breakpoint -> 3
+  | Load_misaligned -> 4
+  | Load_access_fault -> 5
+  | Store_misaligned -> 6
+  | Store_access_fault -> 7
+  | Ecall_m -> 11
+  | Cheri_fault _ -> 28
+  | Interrupt_timer -> 0x8000_0000 lor 7
+  | Interrupt_external -> 0x8000_0000 lor 11
+
+type event = {
+  ev_insn : Insn.t option;
+  ev_taken_branch : bool;
+  ev_mem_bytes : int;
+  ev_is_cap_mem : bool;
+  ev_is_store : bool;
+  ev_trap : cause option;
+}
+
+let no_event =
+  {
+    ev_insn = None;
+    ev_taken_branch = false;
+    ev_mem_bytes = 0;
+    ev_is_cap_mem = false;
+    ev_is_store = false;
+    ev_trap = None;
+  }
+
+type result =
+  | Step_ok
+  | Step_trap of cause
+  | Step_waiting
+  | Step_halted
+  | Step_double_fault
+
+type t = {
+  regs : Capability.t array;
+  mutable pcc : Capability.t;
+  bus : Bus.t;
+  mutable mode : mode;
+  mutable ddc : Capability.t;
+  mutable load_filter : bool;
+  mutable mie : bool;
+  mutable mpie : bool;
+  mutable mcause : int;
+  mutable mtval : int;
+  mutable mcycle : int;
+  mutable minstret : int;
+  mutable mshwm : int;
+  mutable mshwmb : int;
+  mutable mtimecmp : int;
+  mutable mtcc : Capability.t;
+  mutable mepcc : Capability.t;
+  mutable mtdc : Capability.t;
+  mutable mscratchc : Capability.t;
+  mutable ext_interrupt : bool;
+  mutable waiting : bool;
+  mutable last_event : event;
+}
+
+exception Trap of cause
+
+let create ?(mode = Cheriot) ?(load_filter = true) bus =
+  {
+    regs = Array.make 16 Capability.null;
+    pcc = Capability.root_executable;
+    bus;
+    mode;
+    ddc = (if mode = Rv32 then Capability.root_mem_rw else Capability.null);
+    load_filter;
+    mie = false;
+    mpie = false;
+    mcause = 0;
+    mtval = 0;
+    mcycle = 0;
+    minstret = 0;
+    mshwm = 0;
+    mshwmb = 0;
+    mtimecmp = 0;
+    mtcc = Capability.null;
+    mepcc = Capability.null;
+    mtdc = Capability.null;
+    mscratchc = Capability.null;
+    ext_interrupt = false;
+    waiting = false;
+    last_event = no_event;
+  }
+
+let reg m r = if r land 15 = 0 then Capability.null else m.regs.(r land 15)
+
+let set_reg m r c = if r land 15 <> 0 then m.regs.(r land 15) <- c
+
+let reg_int m r = Capability.address (reg m r)
+
+let mask32 = 0xFFFF_FFFF
+let int_cap v = Capability.{ null with addr = v land mask32 }
+let set_reg_int m r v = set_reg m r (int_cap v)
+
+let timer_pending m = m.mtimecmp <> 0 && m.mcycle >= m.mtimecmp
+let interrupt_pending m = timer_pending m || m.ext_interrupt
+
+let to_signed v = (v lxor 0x8000_0000) - 0x8000_0000
+
+(* --- memory access checks ------------------------------------------- *)
+
+let check_access m ~cap ~ridx ~addr ~size ~store ~is_cap =
+  ignore m;
+  let fail c = raise (Trap (Cheri_fault (c, ridx))) in
+  if not cap.Capability.tag then fail Cheri_tag;
+  if Capability.is_sealed cap then fail Cheri_seal;
+  if store then begin
+    if not (Capability.has_perm cap SD) then fail Cheri_permit_store;
+    if is_cap && not (Capability.has_perm cap MC) then
+      fail Cheri_permit_store_cap
+  end
+  else begin
+    if not (Capability.has_perm cap LD) then fail Cheri_permit_load;
+    if is_cap && not (Capability.has_perm cap MC) then
+      fail Cheri_permit_load_cap
+  end;
+  if not (Capability.in_bounds cap ~size addr) then fail Cheri_bounds;
+  if addr land (size - 1) <> 0 then
+    raise (Trap (if store then Store_misaligned else Load_misaligned));
+  if addr < 0 || addr > mask32 then
+    raise (Trap (if store then Store_access_fault else Load_access_fault))
+
+(* Stack high-water-mark tracking (5.2.1): every store whose address lies
+   within [mshwmb, mshwm) lowers the mark. *)
+let note_store m addr =
+  if addr >= m.mshwmb && addr < m.mshwm then m.mshwm <- addr land lnot 7
+
+let mem_authority m ridx off =
+  match m.mode with
+  | Cheriot ->
+      let cap = reg m ridx in
+      (cap, (Capability.address cap + off) land mask32)
+  | Rv32 -> (m.ddc, (reg_int m ridx + off) land mask32)
+
+let do_load m ~ridx ~rs1 ~off ~width ~signed ~rd =
+  let size = match width with Insn.B -> 1 | H -> 2 | W -> 4 in
+  let cap, addr = mem_authority m rs1 off in
+  check_access m ~cap ~ridx ~addr ~size ~store:false ~is_cap:false;
+  let v =
+    try Bus.read m.bus ~width:size addr
+    with Bus.Bus_error _ -> raise (Trap Load_access_fault)
+  in
+  let v =
+    if signed then
+      match width with
+      | B -> (v lxor 0x80) - 0x80
+      | H -> (v lxor 0x8000) - 0x8000
+      | W -> v
+    else v
+  in
+  set_reg_int m rd v;
+  size
+
+let do_store m ~ridx ~rs1 ~off ~width ~rs2 =
+  let size = match width with Insn.B -> 1 | H -> 2 | W -> 4 in
+  let cap, addr = mem_authority m rs1 off in
+  check_access m ~cap ~ridx ~addr ~size ~store:true ~is_cap:false;
+  (try Bus.write m.bus ~width:size addr (reg_int m rs2)
+   with Bus.Bus_error _ -> raise (Trap Store_access_fault));
+  note_store m addr;
+  size
+
+(* The architectural load filter (3.3.2): on every capability load the
+   base of the loaded capability indexes the revocation bitmap; a set bit
+   means the capability points to freed memory and its tag is stripped
+   before register writeback. *)
+let load_filter_apply m c =
+  if (not m.load_filter) || not c.Capability.tag then c
+  else
+    match Bus.revbits m.bus with
+    | Some rb when Revbits.is_revoked rb (Capability.base c) ->
+        Capability.clear_tag c
+    | Some _ | None -> c
+
+let do_clc m ~rd ~rs1 ~off =
+  if m.mode = Rv32 then raise (Trap Illegal_instruction);
+  let cap = reg m rs1 in
+  let addr = (Capability.address cap + off) land mask32 in
+  check_access m ~cap ~ridx:rs1 ~addr ~size:8 ~store:false ~is_cap:true;
+  let tag, word =
+    try Bus.read_cap m.bus addr
+    with Bus.Bus_error _ -> raise (Trap Load_access_fault)
+  in
+  let loaded = Capability.of_word ~tag word in
+  let loaded = Capability.load_attenuate ~authority:cap loaded in
+  let loaded = load_filter_apply m loaded in
+  set_reg m rd loaded
+
+let do_csc m ~rs2 ~rs1 ~off =
+  if m.mode = Rv32 then raise (Trap Illegal_instruction);
+  let cap = reg m rs1 in
+  let addr = (Capability.address cap + off) land mask32 in
+  check_access m ~cap ~ridx:rs1 ~addr ~size:8 ~store:true ~is_cap:true;
+  let value = reg m rs2 in
+  if
+    value.Capability.tag
+    && (not (Capability.is_global value))
+    && not (Capability.has_perm cap SL)
+  then raise (Trap (Cheri_fault (Cheri_permit_store_local, rs2)));
+  (try Bus.write_cap m.bus addr (value.Capability.tag, Capability.to_word value)
+   with Bus.Bus_error _ -> raise (Trap Store_access_fault));
+  note_store m addr
+
+(* --- CSRs ------------------------------------------------------------ *)
+
+let require_sr m =
+  if m.mode = Cheriot && not (Capability.has_perm m.pcc SR) then
+    raise (Trap (Cheri_fault (Cheri_permit_access_system_registers, 16)))
+
+let csr_read m n =
+  if n = Csr.mstatus then
+    ((if m.mie then 1 else 0) lsl Csr.mstatus_mie_bit)
+    lor ((if m.mpie then 1 else 0) lsl Csr.mstatus_mpie_bit)
+  else if n = Csr.mcause then m.mcause
+  else if n = Csr.mtval then m.mtval
+  else if n = Csr.mcycle then m.mcycle land mask32
+  else if n = Csr.mcycleh then (m.mcycle lsr 32) land mask32
+  else if n = Csr.minstret then m.minstret land mask32
+  else if n = Csr.mshwm then m.mshwm
+  else if n = Csr.mshwmb then m.mshwmb
+  else if n = Csr.mtimecmp then m.mtimecmp land mask32
+  else raise (Trap Illegal_instruction)
+
+let csr_write m n v =
+  let v = v land mask32 in
+  if n = Csr.mstatus then begin
+    m.mie <- v land (1 lsl Csr.mstatus_mie_bit) <> 0;
+    m.mpie <- v land (1 lsl Csr.mstatus_mpie_bit) <> 0
+  end
+  else if n = Csr.mcause then m.mcause <- v
+  else if n = Csr.mtval then m.mtval <- v
+  else if n = Csr.mcycle then m.mcycle <- v
+  else if n = Csr.minstret then m.minstret <- v
+  else if n = Csr.mshwm then m.mshwm <- v
+  else if n = Csr.mshwmb then m.mshwmb <- v
+  else if n = Csr.mtimecmp then m.mtimecmp <- v
+  else raise (Trap Illegal_instruction)
+
+let csr_is_counter n = n = Csr.mcycle || n = Csr.mcycleh || n = Csr.minstret
+
+let do_csr m op rd rs1 n =
+  (* Counter reads are unprivileged; everything else needs PCC.SR. *)
+  let pure_read = op <> Insn.Csrrw && rs1 = 0 in
+  if not (pure_read && csr_is_counter n) then require_sr m;
+  let old = csr_read m n in
+  (match op with
+  | Insn.Csrrw -> csr_write m n (reg_int m rs1)
+  | Insn.Csrrs -> if rs1 <> 0 then csr_write m n (old lor reg_int m rs1)
+  | Insn.Csrrc ->
+      if rs1 <> 0 then csr_write m n (old land lnot (reg_int m rs1)));
+  set_reg_int m rd old
+
+let scr_read m = function
+  | Insn.MTCC -> m.mtcc
+  | MTDC -> m.mtdc
+  | MScratchC -> m.mscratchc
+  | MEPCC -> m.mepcc
+
+let scr_write m scr c =
+  match scr with
+  | Insn.MTCC -> m.mtcc <- c
+  | MTDC -> m.mtdc <- c
+  | MScratchC -> m.mscratchc <- c
+  | MEPCC -> m.mepcc <- c
+
+(* --- control flow ----------------------------------------------------- *)
+
+let apply_sentry_posture m = function
+  | Otype.Sentry_inherit -> ()
+  | Sentry_enable | Sentry_ret_enable -> m.mie <- true
+  | Sentry_disable | Sentry_ret_disable -> m.mie <- false
+
+let link_cap m next_addr =
+  (* The link register receives a return sentry recording the interrupt
+     posture at the call site (3.1.2). *)
+  let c = Capability.with_address m.pcc next_addr in
+  match
+    Capability.seal_sentry c (Otype.return_sentry ~interrupts_enabled:m.mie)
+  with
+  | Ok sealed -> sealed
+  | Error _ -> Capability.clear_tag c
+
+let do_jal m rd off =
+  let pc = Capability.address m.pcc in
+  let target = (pc + off) land mask32 in
+  match m.mode with
+  | Rv32 ->
+      set_reg_int m rd (pc + 4);
+      m.pcc <- Capability.{ root_executable with addr = target }
+  | Cheriot ->
+      if not (Capability.in_bounds m.pcc ~size:4 target) then
+        raise (Trap (Cheri_fault (Cheri_bounds, 16)));
+      set_reg m rd (link_cap m (pc + 4));
+      m.pcc <- Capability.with_address m.pcc target
+
+let do_jalr m rd rs1 off =
+  let pc = Capability.address m.pcc in
+  match m.mode with
+  | Rv32 ->
+      let target = (reg_int m rs1 + off) land mask32 land lnot 1 in
+      set_reg_int m rd (pc + 4);
+      m.pcc <- Capability.{ root_executable with addr = target }
+  | Cheriot ->
+      let cap = reg m rs1 in
+      if not cap.Capability.tag then
+        raise (Trap (Cheri_fault (Cheri_tag, rs1)));
+      let cap =
+        if Capability.is_sealed cap then begin
+          match Capability.sentry_kind cap with
+          | Some kind when off = 0 ->
+              let link = link_cap m (pc + 4) in
+              apply_sentry_posture m kind;
+              set_reg m rd link;
+              Capability.{ cap with otype = Otype.unsealed }
+          | Some _ | None -> raise (Trap (Cheri_fault (Cheri_seal, rs1)))
+        end
+        else begin
+          set_reg m rd (link_cap m (pc + 4));
+          cap
+        end
+      in
+      if not (Capability.has_perm cap EX) then
+        raise (Trap (Cheri_fault (Cheri_permit_execute, rs1)));
+      let target = (Capability.address cap + off) land mask32 land lnot 1 in
+      if not (Capability.in_bounds cap ~size:4 target) then
+        raise (Trap (Cheri_fault (Cheri_bounds, rs1)));
+      m.pcc <- Capability.with_address cap target
+
+let alu_exec op a b =
+  let open Insn in
+  match op with
+  | Add -> (a + b) land mask32
+  | Sub -> (a - b) land mask32
+  | Sll -> (a lsl (b land 31)) land mask32
+  | Slt -> if to_signed a < to_signed b then 1 else 0
+  | Sltu -> if a < b then 1 else 0
+  | Xor -> a lxor b
+  | Srl -> a lsr (b land 31)
+  | Sra -> (to_signed a asr (b land 31)) land mask32
+  | Or -> a lor b
+  | And -> a land b
+
+let muldiv_exec op a b =
+  let open Insn in
+  let sa = to_signed a and sb = to_signed b in
+  match op with
+  | Mul -> (a * b) land mask32
+  | Mulh -> (sa * sb) asr 32 land mask32
+  | Mulhsu -> (sa * b) asr 32 land mask32
+  | Mulhu -> (a * b) lsr 32 land mask32
+  | Div ->
+      if sb = 0 then mask32
+      else if sa = -0x8000_0000 && sb = -1 then 0x8000_0000
+      else to_signed a / to_signed b land mask32 land mask32
+  | Divu -> if b = 0 then mask32 else a / b
+  | Rem ->
+      if sb = 0 then a
+      else if sa = -0x8000_0000 && sb = -1 then 0
+      else Stdlib.( mod ) sa sb land mask32
+  | Remu -> if b = 0 then a else a mod b
+
+let branch_taken cond a b =
+  let open Insn in
+  match cond with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> to_signed a < to_signed b
+  | Ge -> to_signed a >= to_signed b
+  | Ltu -> a < b
+  | Geu -> a >= b
+
+(* --- capability instructions ----------------------------------------- *)
+
+let require_tagged m ridx c =
+  ignore m;
+  if not c.Capability.tag then raise (Trap (Cheri_fault (Cheri_tag, ridx)))
+
+let require_unsealed m ridx c =
+  ignore m;
+  if Capability.is_sealed c then raise (Trap (Cheri_fault (Cheri_seal, ridx)))
+
+let exec_cap m (i : Insn.t) =
+  if m.mode = Rv32 then raise (Trap Illegal_instruction);
+  match i with
+  | Cincaddr (cd, cs1, rs2) ->
+      set_reg m cd (Capability.incr_address (reg m cs1) (reg_int m rs2))
+  | Cincaddrimm (cd, cs1, imm) ->
+      set_reg m cd (Capability.incr_address (reg m cs1) imm)
+  | Csetaddr (cd, cs1, rs2) ->
+      set_reg m cd (Capability.with_address (reg m cs1) (reg_int m rs2))
+  | Csetbounds (cd, cs1, rs2) | Csetboundsimm (cd, cs1, rs2) ->
+      let c = reg m cs1 in
+      require_tagged m cs1 c;
+      require_unsealed m cs1 c;
+      let length =
+        match i with
+        | Csetboundsimm _ -> rs2
+        | _ -> reg_int m rs2
+      in
+      let r = Capability.set_bounds c ~length ~exact:false in
+      if not r.Capability.tag then
+        raise (Trap (Cheri_fault (Cheri_bounds, cs1)));
+      set_reg m cd r
+  | Csetboundsexact (cd, cs1, rs2) ->
+      let c = reg m cs1 in
+      require_tagged m cs1 c;
+      require_unsealed m cs1 c;
+      let r = Capability.set_bounds c ~length:(reg_int m rs2) ~exact:true in
+      if not r.Capability.tag then
+        raise (Trap (Cheri_fault (Cheri_bounds, cs1)));
+      set_reg m cd r
+  | Crrl (rd, rs1) -> set_reg_int m rd (Bounds.crrl (reg_int m rs1))
+  | Cram (rd, rs1) -> set_reg_int m rd (Bounds.cram (reg_int m rs1))
+  | Candperm (cd, cs1, rs2) ->
+      let mask = Perm.Set.of_arch_bits (reg_int m rs2) in
+      set_reg m cd (Capability.and_perms (reg m cs1) mask)
+  | Ccleartag (cd, cs1) -> set_reg m cd (Capability.clear_tag (reg m cs1))
+  | Cmove (cd, cs1) -> set_reg m cd (reg m cs1)
+  | Cseal (cd, cs1, cs2) -> (
+      match Capability.seal (reg m cs1) ~key:(reg m cs2) with
+      | Ok c -> set_reg m cd c
+      | Error _ -> raise (Trap (Cheri_fault (Cheri_seal, cs2))))
+  | Cunseal (cd, cs1, cs2) -> (
+      match Capability.unseal (reg m cs1) ~key:(reg m cs2) with
+      | Ok c -> set_reg m cd c
+      | Error _ -> raise (Trap (Cheri_fault (Cheri_seal, cs2))))
+  | Cget (g, rd, cs1) ->
+      let c = reg m cs1 in
+      let v =
+        match g with
+        | Addr -> Capability.address c
+        | Base -> Capability.base c
+        | Top -> min (Capability.top c) mask32
+        | Len -> min (Capability.length c) mask32
+        | Perm -> Perm.Set.to_arch_bits (Capability.perms c)
+        | Type -> Otype.value (Capability.otype c)
+        | Tag -> if c.Capability.tag then 1 else 0
+      in
+      set_reg_int m rd v
+  | Csub (rd, cs1, cs2) ->
+      set_reg_int m rd (reg_int m cs1 - reg_int m cs2)
+  | Ctestsubset (rd, cs1, cs2) ->
+      set_reg_int m rd
+        (if Capability.is_subset (reg m cs2) ~of_:(reg m cs1) then 1 else 0)
+  | Csetequalexact (rd, cs1, cs2) ->
+      set_reg_int m rd
+        (if Capability.equal (reg m cs1) (reg m cs2) then 1 else 0)
+  | Cspecialrw (cd, scr, cs1) ->
+      require_sr m;
+      let old = scr_read m scr in
+      if cs1 <> 0 then scr_write m scr (reg m cs1);
+      set_reg m cd old
+  | _ -> raise (Trap Illegal_instruction)
+
+(* --- trap entry ------------------------------------------------------- *)
+
+let enter_trap m cause =
+  m.mcause <- mcause_of cause;
+  (m.mtval <-
+     (match cause with
+     | Cheri_fault (c, r) -> (cheri_cause_code c lsl 5) lor r
+     | _ -> 0));
+  m.mepcc <- m.pcc;
+  m.mpie <- m.mie;
+  m.mie <- false;
+  if m.mtcc.Capability.tag then begin
+    m.pcc <- m.mtcc;
+    Step_trap cause
+  end
+  else Step_double_fault
+
+(* --- fetch/execute ---------------------------------------------------- *)
+
+let fetch m =
+  let pc = Capability.address m.pcc in
+  if m.mode = Cheriot then begin
+    if not m.pcc.Capability.tag then
+      raise (Trap (Cheri_fault (Cheri_tag, 16)));
+    if Capability.is_sealed m.pcc then
+      raise (Trap (Cheri_fault (Cheri_seal, 16)));
+    if not (Capability.has_perm m.pcc EX) then
+      raise (Trap (Cheri_fault (Cheri_permit_execute, 16)));
+    if not (Capability.in_bounds m.pcc ~size:4 pc) then
+      raise (Trap (Cheri_fault (Cheri_bounds, 16)))
+  end;
+  if pc land 3 <> 0 then raise (Trap Illegal_instruction);
+  try Bus.read m.bus ~width:4 pc
+  with Bus.Bus_error _ -> raise (Trap Load_access_fault)
+
+let step m =
+  if m.waiting then
+    if interrupt_pending m then m.waiting <- false else ()
+  else ();
+  if m.waiting then Step_waiting
+  else if m.mie && interrupt_pending m then begin
+    let cause =
+      if timer_pending m then Interrupt_timer else Interrupt_external
+    in
+    m.last_event <- { no_event with ev_trap = Some cause };
+    enter_trap m cause
+  end
+  else begin
+    let finish ?(taken = false) ?(mem = 0) ?(cap_mem = false) ?(store = false)
+        insn =
+      m.minstret <- m.minstret + 1;
+      m.last_event <-
+        {
+          ev_insn = Some insn;
+          ev_taken_branch = taken;
+          ev_mem_bytes = mem;
+          ev_is_cap_mem = cap_mem;
+          ev_is_store = store;
+          ev_trap = None;
+        };
+      Step_ok
+    in
+    let advance () = m.pcc <- Capability.with_address m.pcc ((Capability.address m.pcc + 4) land mask32) in
+    let advance_rv32 () =
+      (* In Rv32 mode the PCC is a plain program counter. *)
+      m.pcc <- Capability.{ m.pcc with addr = (m.pcc.addr + 4) land mask32; tag = m.pcc.tag }
+    in
+    let next () = if m.mode = Cheriot then advance () else advance_rv32 () in
+    try
+      let word = fetch m in
+      match Encode.decode word with
+      | None -> raise (Trap Illegal_instruction)
+      | Some insn -> (
+          match insn with
+          | Lui (rd, imm20) ->
+              set_reg_int m rd (imm20 lsl 12);
+              next ();
+              finish insn
+          | Auipcc (rd, imm20) ->
+              let v = (Capability.address m.pcc + (imm20 lsl 12)) land mask32 in
+              (match m.mode with
+              | Cheriot -> set_reg m rd (Capability.with_address m.pcc v)
+              | Rv32 -> set_reg_int m rd v);
+              next ();
+              finish insn
+          | Jal (rd, off) ->
+              do_jal m rd off;
+              finish ~taken:true insn
+          | Jalr (rd, rs1, off) ->
+              do_jalr m rd rs1 off;
+              finish ~taken:true insn
+          | Branch (cond, rs1, rs2, off) ->
+              let taken = branch_taken cond (reg_int m rs1) (reg_int m rs2) in
+              if taken then begin
+                let pc = Capability.address m.pcc in
+                let target = (pc + off) land mask32 in
+                if
+                  m.mode = Cheriot
+                  && not (Capability.in_bounds m.pcc ~size:4 target)
+                then raise (Trap (Cheri_fault (Cheri_bounds, 16)));
+                m.pcc <-
+                  (if m.mode = Cheriot then Capability.with_address m.pcc target
+                   else Capability.{ m.pcc with addr = target })
+              end
+              else next ();
+              finish ~taken insn
+          | Load { signed; width; rd; rs1; off } ->
+              let bytes = do_load m ~ridx:rs1 ~rs1 ~off ~width ~signed ~rd in
+              next ();
+              finish ~mem:bytes insn
+          | Store { width; rs2; rs1; off } ->
+              let bytes = do_store m ~ridx:rs1 ~rs1 ~off ~width ~rs2 in
+              next ();
+              finish ~mem:bytes ~store:true insn
+          | Clc (rd, rs1, off) ->
+              do_clc m ~rd ~rs1 ~off;
+              next ();
+              finish ~mem:8 ~cap_mem:true insn
+          | Csc (rs2, rs1, off) ->
+              do_csc m ~rs2 ~rs1 ~off;
+              next ();
+              finish ~mem:8 ~cap_mem:true ~store:true insn
+          | Op_imm (op, rd, rs1, imm) ->
+              set_reg_int m rd (alu_exec op (reg_int m rs1) (imm land mask32));
+              next ();
+              finish insn
+          | Op (op, rd, rs1, rs2) ->
+              set_reg_int m rd (alu_exec op (reg_int m rs1) (reg_int m rs2));
+              next ();
+              finish insn
+          | Mul_div (op, rd, rs1, rs2) ->
+              set_reg_int m rd
+                (muldiv_exec op (reg_int m rs1) (reg_int m rs2));
+              next ();
+              finish insn
+          | Ecall -> raise (Trap Ecall_m)
+          | Ebreak ->
+              m.last_event <- { no_event with ev_insn = Some insn };
+              Step_halted
+          | Mret ->
+              require_sr m;
+              let target = m.mepcc in
+              let target =
+                match Capability.sentry_kind target with
+                | Some kind ->
+                    apply_sentry_posture m kind;
+                    Capability.{ target with otype = Otype.unsealed }
+                | None ->
+                    m.mie <- m.mpie;
+                    target
+              in
+              m.mpie <- true;
+              m.pcc <- target;
+              finish ~taken:true insn
+          | Wfi ->
+              if not (interrupt_pending m) then m.waiting <- true;
+              next ();
+              if m.waiting then begin
+                m.minstret <- m.minstret + 1;
+                m.last_event <- { no_event with ev_insn = Some insn };
+                Step_waiting
+              end
+              else finish insn
+          | Csr (op, rd, rs1, n) ->
+              do_csr m op rd rs1 n;
+              next ();
+              finish insn
+          | Cincaddr _ | Cincaddrimm _ | Csetaddr _ | Csetbounds _
+          | Csetboundsexact _ | Csetboundsimm _ | Crrl _ | Cram _
+          | Candperm _ | Ccleartag _ | Cmove _ | Cseal _ | Cunseal _
+          | Cget _ | Csub _ | Ctestsubset _ | Csetequalexact _
+          | Cspecialrw _ ->
+              exec_cap m insn;
+              next ();
+              finish insn)
+    with Trap cause ->
+      m.last_event <- { no_event with ev_trap = Some cause };
+      enter_trap m cause
+  end
+
+let run ?(fuel = 10_000_000) m =
+  let rec go n =
+    if n >= fuel then (Step_ok, n)
+    else
+      match step m with
+      | Step_ok | Step_trap _ -> go (n + 1)
+      | (Step_waiting | Step_halted | Step_double_fault) as r -> (r, n + 1)
+  in
+  go 0

@@ -1,0 +1,119 @@
+(** The CHERIoT machine: architectural state and single-step semantics —
+    a Sail-style executable model of the ISA (paper 3).
+
+    The same machine runs in two modes:
+
+    - [Cheriot]: registers hold capabilities, memory accesses are
+      authorized by the capability in the cited register, jumps unseal
+      sentries, the load filter strips tags from loaded capabilities whose
+      base points into freed memory.
+    - [Rv32]: the Table 3 baseline.  Registers are used as plain 32-bit
+      integers and memory accesses are authorized by an implicit
+      full-authority default data capability.  Capability instructions
+      trap as illegal. *)
+
+type mode = Cheriot | Rv32
+
+(** CHERI exception causes (reported via [mcause = 28] with the cause and
+    the faulting register index in [mtval], as in CHERI RISC-V). *)
+type cheri_cause =
+  | Cheri_bounds
+  | Cheri_tag
+  | Cheri_seal
+  | Cheri_permit_execute
+  | Cheri_permit_load
+  | Cheri_permit_store
+  | Cheri_permit_load_cap
+  | Cheri_permit_store_cap
+  | Cheri_permit_store_local
+  | Cheri_permit_access_system_registers
+
+type cause =
+  | Illegal_instruction
+  | Breakpoint
+  | Load_misaligned
+  | Store_misaligned
+  | Load_access_fault
+  | Store_access_fault
+  | Ecall_m
+  | Cheri_fault of cheri_cause * int  (** cause, faulting register (16 = PCC) *)
+  | Interrupt_timer
+  | Interrupt_external
+
+val pp_cause : Format.formatter -> cause -> unit
+val mcause_of : cause -> int
+(** The value written to [mcause] (interrupt bit in bit 31). *)
+
+(** What [step] observed — consumed by the micro-architectural cycle
+    models, which charge cycles per event. *)
+type event = {
+  ev_insn : Insn.t option;  (** None when no instruction retired *)
+  ev_taken_branch : bool;
+  ev_mem_bytes : int;  (** data bytes moved, 0 if none *)
+  ev_is_cap_mem : bool;
+  ev_is_store : bool;
+  ev_trap : cause option;
+}
+
+type result =
+  | Step_ok
+  | Step_trap of cause  (** trap taken; PCC redirected to MTCC *)
+  | Step_waiting  (** WFI with no pending interrupt *)
+  | Step_halted  (** EBREAK: simulation terminated *)
+  | Step_double_fault  (** trap with an untagged MTCC: unrecoverable *)
+
+type t = {
+  regs : Cheriot_core.Capability.t array;  (** c1..c15 at indices 1..15 *)
+  mutable pcc : Cheriot_core.Capability.t;
+  bus : Cheriot_mem.Bus.t;
+  mutable mode : mode;
+  mutable ddc : Cheriot_core.Capability.t;  (** Rv32-mode authority *)
+  mutable load_filter : bool;
+  (* CSR state *)
+  mutable mie : bool;
+  mutable mpie : bool;
+  mutable mcause : int;
+  mutable mtval : int;
+  mutable mcycle : int;  (** advanced by the perf harness *)
+  mutable minstret : int;
+  mutable mshwm : int;
+  mutable mshwmb : int;
+  mutable mtimecmp : int;
+  (* Special capability registers *)
+  mutable mtcc : Cheriot_core.Capability.t;
+  mutable mepcc : Cheriot_core.Capability.t;
+  mutable mtdc : Cheriot_core.Capability.t;
+  mutable mscratchc : Cheriot_core.Capability.t;
+  mutable ext_interrupt : bool;  (** external interrupt line *)
+  mutable waiting : bool;  (** inside WFI *)
+  mutable last_event : event;
+}
+
+val create : ?mode:mode -> ?load_filter:bool -> Cheriot_mem.Bus.t -> t
+(** A machine at reset: PCC is the executable root at address 0, all other
+    registers NULL.  The harness (bootloader) installs the roots where it
+    needs them, as early-boot software does (paper 3.1.1). *)
+
+val reg : t -> int -> Cheriot_core.Capability.t
+(** Read a register; c0 always reads as NULL. *)
+
+val set_reg : t -> int -> Cheriot_core.Capability.t -> unit
+(** Write a register; writes to c0 are discarded. *)
+
+val reg_int : t -> int -> int
+(** The 32-bit address field of a register. *)
+
+val set_reg_int : t -> int -> int -> unit
+(** Write an integer result (an untagged capability with that address). *)
+
+val timer_pending : t -> bool
+val interrupt_pending : t -> bool
+
+val step : t -> result
+(** Execute one instruction (or take a pending interrupt).  Updates
+    [last_event] for the cycle models and [minstret]. *)
+
+val run : ?fuel:int -> t -> result * int
+(** Step until halt/double-fault/waiting or [fuel] (default 10M)
+    instructions; returns the final result and instructions retired.
+    Traps are not stopping events (the handler runs). *)

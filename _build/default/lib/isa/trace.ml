@@ -1,0 +1,51 @@
+(** Execution tracing: single-step a machine and render each retired
+    instruction with its disassembly and effects — the simulator's
+    equivalent of a waveform viewer, used by [bin/cheriot_sim]. *)
+
+open Cheriot_core
+
+type entry = {
+  tr_index : int;
+  tr_pc : int;
+  tr_insn : Insn.t option;
+  tr_result : Machine.result;
+  tr_cycles : int;  (** cumulative, if a perf harness drives the clock *)
+}
+
+let pp_result fmt = function
+  | Machine.Step_ok -> ()
+  | Machine.Step_trap c -> Format.fprintf fmt "  !! trap: %a" Machine.pp_cause c
+  | Machine.Step_waiting -> Format.fprintf fmt "  (wfi)"
+  | Machine.Step_halted -> Format.fprintf fmt "  == halted =="
+  | Machine.Step_double_fault -> Format.fprintf fmt "  ** double fault **"
+
+let pp_entry fmt e =
+  (match e.tr_insn with
+  | Some i -> Format.fprintf fmt "%8d  %8d  0x%08x  %a" e.tr_index e.tr_cycles e.tr_pc Insn.pp i
+  | None -> Format.fprintf fmt "%8d  %8d  0x%08x  <no retire>" e.tr_index e.tr_cycles e.tr_pc);
+  pp_result fmt e.tr_result
+
+(** Step [m] up to [fuel] instructions, calling [f] per step with a
+    trace entry.  Returns the final result and step count. *)
+let run ?(fuel = 1_000_000) m ~f =
+  let rec go i =
+    if i >= fuel then (Machine.Step_ok, i)
+    else begin
+      let pc = Capability.address m.Machine.pcc in
+      let r = Machine.step m in
+      f
+        {
+          tr_index = i;
+          tr_pc = pc;
+          tr_insn = m.Machine.last_event.Machine.ev_insn;
+          tr_result = r;
+          tr_cycles = m.Machine.mcycle;
+        };
+      match r with
+      | Machine.Step_ok | Machine.Step_trap _ -> go (i + 1)
+      | Machine.Step_waiting | Machine.Step_halted | Machine.Step_double_fault
+        ->
+          (r, i + 1)
+    end
+  in
+  go 0

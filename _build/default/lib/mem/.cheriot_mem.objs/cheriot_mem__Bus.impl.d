@@ -1,0 +1,1 @@
+lib/mem/bus.ml: List Mmio Revbits Sram

@@ -1,0 +1,1 @@
+lib/mem/bus.mli: Mmio Revbits Sram

@@ -1,0 +1,1 @@
+lib/mem/mmio.ml: Bytes Int32

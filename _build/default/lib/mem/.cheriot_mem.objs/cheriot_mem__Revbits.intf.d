@@ -1,0 +1,1 @@
+lib/mem/revbits.mli:

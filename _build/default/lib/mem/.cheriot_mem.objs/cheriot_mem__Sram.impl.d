@@ -1,0 +1,1 @@
+lib/mem/sram.ml: Bytes Char Int32 Printf String

@@ -1,0 +1,72 @@
+exception Bus_error of int
+
+type t = {
+  mutable srams : Sram.t list;
+  mutable devices : Mmio.device list;
+  mutable revbits : Revbits.t option;
+  mutable store_snoops : (int -> unit) list;
+  mutable accesses : int;
+}
+
+let create () =
+  { srams = []; devices = []; revbits = None; store_snoops = []; accesses = 0 }
+
+let add_sram t s = t.srams <- s :: t.srams
+let add_device t d = t.devices <- d :: t.devices
+let set_revbits t r = t.revbits <- Some r
+let revbits t = t.revbits
+
+let sram_at t addr =
+  List.find_opt (fun s -> Sram.in_range s ~addr ~size:1) t.srams
+
+let device_at t addr =
+  List.find_opt
+    (fun d -> addr >= d.Mmio.dev_base && addr < d.Mmio.dev_base + d.dev_size)
+    t.devices
+
+let snoop t addr = List.iter (fun f -> f (addr land lnot 7)) t.store_snoops
+
+let read t ~width addr =
+  t.accesses <- t.accesses + 1;
+  match sram_at t addr with
+  | Some s -> (
+      match width with
+      | 1 -> Sram.read8 s addr
+      | 2 -> Sram.read16 s addr
+      | 4 -> Sram.read32 s addr
+      | _ -> invalid_arg "Bus.read: width")
+  | None -> (
+      match device_at t addr with
+      | Some d when width = 4 -> d.Mmio.read32 (addr - d.Mmio.dev_base)
+      | Some _ | None -> raise (Bus_error addr))
+
+let write t ~width addr v =
+  t.accesses <- t.accesses + 1;
+  (match sram_at t addr with
+  | Some s -> (
+      match width with
+      | 1 -> Sram.write8 s addr v
+      | 2 -> Sram.write16 s addr v
+      | 4 -> Sram.write32 s addr v
+      | _ -> invalid_arg "Bus.write: width")
+  | None -> (
+      match device_at t addr with
+      | Some d when width = 4 -> d.Mmio.write32 (addr - d.Mmio.dev_base) v
+      | Some _ | None -> raise (Bus_error addr)));
+  snoop t addr
+
+let read_cap t addr =
+  t.accesses <- t.accesses + 1;
+  match sram_at t addr with
+  | Some s -> Sram.read_cap s addr
+  | None -> raise (Bus_error addr)
+
+let write_cap t addr v =
+  t.accesses <- t.accesses + 1;
+  (match sram_at t addr with
+  | Some s -> Sram.write_cap s addr v
+  | None -> raise (Bus_error addr));
+  snoop t addr
+
+let on_store t f = t.store_snoops <- f :: t.store_snoops
+let data_accesses t = t.accesses

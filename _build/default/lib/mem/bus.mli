@@ -1,0 +1,43 @@
+(** The memory bus: routes CPU accesses to SRAM regions or MMIO devices,
+    and carries the store-snoop signal that the background revoker uses to
+    resolve its race with the main pipeline (paper 3.3.3). *)
+
+type t
+
+exception Bus_error of int
+(** Raised on access to an unmapped address — surfaces as a trap. *)
+
+val create : unit -> t
+val add_sram : t -> Sram.t -> unit
+val add_device : t -> Mmio.device -> unit
+
+val set_revbits : t -> Revbits.t -> unit
+(** Attach the revocation bitmap consulted by the load filter. *)
+
+val revbits : t -> Revbits.t option
+
+val sram_at : t -> int -> Sram.t option
+(** The SRAM region containing an address, if any. *)
+
+(** {1 Access} *)
+
+val read : t -> width:int -> int -> int
+(** [read t ~width addr] with [width] ∈ {1,2,4}.  MMIO accepts width 4
+    only. *)
+
+val write : t -> width:int -> int -> int -> unit
+val read_cap : t -> int -> bool * int64
+val write_cap : t -> int -> bool * int64 -> unit
+
+(** {1 Store snooping} *)
+
+val on_store : t -> (int -> unit) -> unit
+(** Register a callback invoked with the (granule-aligned) address of
+    every store; the background revoker uses it to re-load in-flight
+    words that the main pipeline overwrote. *)
+
+(** {1 Accounting} *)
+
+val data_accesses : t -> int
+(** Total data-side accesses since creation (bus beats are accounted by
+    the core model, which knows its bus width). *)

@@ -1,0 +1,53 @@
+type t = {
+  heap_base : int;
+  heap_size : int;
+  granule_log2 : int;
+  bits : Bytes.t;
+  mutable painted : int;
+}
+
+let create ?(granule_log2 = 3) ~heap_base ~heap_size () =
+  if granule_log2 < 3 then
+    invalid_arg "Revbits.create: granule must be >= 8 bytes";
+  let granules = (heap_size + (1 lsl granule_log2) - 1) lsr granule_log2 in
+  {
+    heap_base;
+    heap_size;
+    granule_log2;
+    bits = Bytes.make ((granules + 7) / 8) '\000';
+    painted = 0;
+  }
+
+let granule_size t = 1 lsl t.granule_log2
+let covers t addr = addr >= t.heap_base && addr < t.heap_base + t.heap_size
+let index t addr = (addr - t.heap_base) lsr t.granule_log2
+
+let get t i =
+  Char.code (Bytes.get t.bits (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let set t i v =
+  let byte = Char.code (Bytes.get t.bits (i lsr 3)) in
+  let mask = 1 lsl (i land 7) in
+  let old = byte land mask <> 0 in
+  if old <> v then begin
+    t.painted <- (t.painted + if v then 1 else -1);
+    let byte = if v then byte lor mask else byte land lnot mask in
+    Bytes.set t.bits (i lsr 3) (Char.chr byte)
+  end
+
+let is_revoked t addr = covers t addr && get t (index t addr)
+
+let iter_granules t ~addr ~len f =
+  if len > 0 then begin
+    let first = index t (max addr t.heap_base) in
+    let last_addr = min (addr + len - 1) (t.heap_base + t.heap_size - 1) in
+    if last_addr >= max addr t.heap_base then
+      for i = first to index t last_addr do
+        f i
+      done
+  end
+
+let paint t ~addr ~len = iter_granules t ~addr ~len (fun i -> set t i true)
+let clear t ~addr ~len = iter_granules t ~addr ~len (fun i -> set t i false)
+let bitmap_bytes t = Bytes.length t.bits
+let painted_granules t = t.painted

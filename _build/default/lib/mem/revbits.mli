@@ -1,0 +1,38 @@
+(** The revocation bitmap (paper 3.3.1).
+
+    Each heap allocation granule (8 bytes, matching capability alignment)
+    has a corresponding revocation bit indicating that the granule belongs
+    to a freed memory chunk and must not be referenced.  The bitmap covers
+    only the heap region — the SRAM overhead is 1/(8*8) ≈ 1.56 % of heap,
+    and zero for statically allocated memory.  The bitmap area is
+    memory-mapped; the RTOS loader grants access only to the allocator
+    compartment. *)
+
+type t
+
+val create : ?granule_log2:int -> heap_base:int -> heap_size:int -> unit -> t
+(** [create ~heap_base ~heap_size ()] covers [[heap_base, heap_base+size)].
+    [granule_log2] defaults to 3 (8-byte granules); the granule-size
+    ablation (DESIGN.md §5) uses 4 or 5. *)
+
+val granule_size : t -> int
+val covers : t -> int -> bool
+(** Is the address within the region associated with revocation bits? *)
+
+val is_revoked : t -> int -> bool
+(** [is_revoked t addr]: the revocation bit of [addr]'s granule.
+    Addresses outside the covered region are never revoked (code, globals
+    and stacks have no revocation bits). *)
+
+val paint : t -> addr:int -> len:int -> unit
+(** Set the revocation bits of every granule in [[addr, addr+len)] — the
+    allocator does this in [free] before quarantining. *)
+
+val clear : t -> addr:int -> len:int -> unit
+(** Reset the bits when quarantined memory is released for reuse. *)
+
+val bitmap_bytes : t -> int
+(** SRAM cost of the bitmap in bytes, for the overhead accounting. *)
+
+val painted_granules : t -> int
+(** Number of currently-set bits (diagnostics). *)

@@ -1,0 +1,119 @@
+type t = {
+  base : int;
+  size : int;
+  data : Bytes.t;
+  (* Two micro-tag bits per 8-byte granule: bit 2k = low half, bit 2k+1 =
+     high half.  Packed 4 granules per byte. *)
+  microtags : Bytes.t;
+}
+
+let create ~base ~size =
+  if size <= 0 || size mod 8 <> 0 then
+    invalid_arg "Sram.create: size must be a positive multiple of 8";
+  {
+    base;
+    size;
+    data = Bytes.make size '\000';
+    microtags = Bytes.make (((size / 8 * 2) + 7) / 8) '\000';
+  }
+
+let base t = t.base
+let size t = t.size
+let in_range t ~addr ~size = addr >= t.base && addr + size <= t.base + t.size
+
+let check t addr size align =
+  if not (in_range t ~addr ~size) then
+    invalid_arg (Printf.sprintf "Sram: 0x%x out of range" addr);
+  if addr land (align - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Sram: 0x%x misaligned (%d)" addr align)
+
+let microtag_get t bit =
+  Char.code (Bytes.get t.microtags (bit lsr 3)) land (1 lsl (bit land 7)) <> 0
+
+let microtag_set t bit v =
+  let byte = Char.code (Bytes.get t.microtags (bit lsr 3)) in
+  let mask = 1 lsl (bit land 7) in
+  let byte = if v then byte lor mask else byte land lnot mask in
+  Bytes.set t.microtags (bit lsr 3) (Char.chr byte)
+
+(* granule index and half (0 = low word, 1 = high word) of an address *)
+let granule t addr = (addr - t.base) lsr 3
+let half addr = (addr lsr 2) land 1
+
+let clear_microtags_for_write t addr len =
+  (* Any data write clears the micro-tag of each 32-bit half it touches. *)
+  let first = (addr - t.base) lsr 2 in
+  let last = (addr + len - 1 - t.base) lsr 2 in
+  for half_idx = first to last do
+    microtag_set t half_idx false
+  done
+
+let read8 t addr =
+  check t addr 1 1;
+  Char.code (Bytes.get t.data (addr - t.base))
+
+let read16 t addr =
+  check t addr 2 2;
+  Bytes.get_uint16_le t.data (addr - t.base)
+
+let read32 t addr =
+  check t addr 4 4;
+  Int32.to_int (Bytes.get_int32_le t.data (addr - t.base)) land 0xFFFF_FFFF
+
+let write8 t addr v =
+  check t addr 1 1;
+  Bytes.set t.data (addr - t.base) (Char.chr (v land 0xff));
+  clear_microtags_for_write t addr 1
+
+let write16 t addr v =
+  check t addr 2 2;
+  Bytes.set_uint16_le t.data (addr - t.base) (v land 0xffff);
+  clear_microtags_for_write t addr 2
+
+let write32 t addr v =
+  check t addr 4 4;
+  Bytes.set_int32_le t.data (addr - t.base) (Int32.of_int v);
+  clear_microtags_for_write t addr 4
+
+let read_cap t addr =
+  check t addr 8 8;
+  let g = granule t addr in
+  let tag = microtag_get t (2 * g) && microtag_get t ((2 * g) + 1) in
+  (tag, Bytes.get_int64_le t.data (addr - t.base))
+
+let write_cap t addr (tag, word) =
+  check t addr 8 8;
+  Bytes.set_int64_le t.data (addr - t.base) word;
+  let g = granule t addr in
+  microtag_set t (2 * g) tag;
+  microtag_set t ((2 * g) + 1) tag
+
+let read_microtags t addr =
+  let g = granule t (addr land lnot 7) in
+  (microtag_get t (2 * g), microtag_get t ((2 * g) + 1))
+
+let clear_tag_at t addr =
+  let g = granule t (addr land lnot 7) in
+  microtag_set t (2 * g) false;
+  microtag_set t ((2 * g) + 1) false
+
+let tag_at t addr =
+  let lo, hi = read_microtags t addr in
+  lo && hi
+
+let _ = half
+
+let fill t ~addr ~len c =
+  if len > 0 then begin
+    check t addr len 1;
+    Bytes.fill t.data (addr - t.base) len c;
+    clear_microtags_for_write t addr len
+  end
+
+let blit_string t ~addr s =
+  let len = String.length s in
+  if len > 0 then begin
+    check t addr len 1;
+    Bytes.blit_string s 0 t.data (addr - t.base) len;
+    clear_microtags_for_write t addr len
+  end

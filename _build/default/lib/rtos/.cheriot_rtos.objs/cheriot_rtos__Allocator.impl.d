@@ -1,0 +1,1 @@
+lib/rtos/allocator.ml: Array Bounds Capability Cheriot_core Cheriot_mem Cheriot_uarch Clock Format List Option Printf Sw_revoker

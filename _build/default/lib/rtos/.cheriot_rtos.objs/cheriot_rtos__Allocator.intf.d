@@ -1,0 +1,1 @@
+lib/rtos/allocator.mli: Cheriot_core Cheriot_mem Cheriot_uarch Clock Format Sw_revoker

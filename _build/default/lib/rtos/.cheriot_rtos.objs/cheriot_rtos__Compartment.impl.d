@@ -1,0 +1,1 @@
+lib/rtos/compartment.ml: Cheriot_isa

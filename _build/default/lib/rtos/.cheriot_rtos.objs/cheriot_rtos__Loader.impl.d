@@ -1,0 +1,1 @@
+lib/rtos/loader.ml: Asm Bounds Capability Cheriot_core Cheriot_isa Cheriot_mem Compartment Insn List Machine Otype Printf Switcher_asm

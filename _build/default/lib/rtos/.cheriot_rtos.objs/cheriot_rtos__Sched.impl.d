@@ -1,0 +1,1 @@
+lib/rtos/sched.ml: Clock List Switcher

@@ -1,0 +1,1 @@
+lib/rtos/sched_asm.ml: Asm Cheriot_core Cheriot_isa Cheriot_mem Csr Insn List

@@ -1,0 +1,1 @@
+lib/rtos/sealing_service.ml: Allocator Capability Cheriot_core Cheriot_mem Format Otype

@@ -1,0 +1,1 @@
+lib/rtos/sealing_service.mli: Allocator Cheriot_core Cheriot_mem Format

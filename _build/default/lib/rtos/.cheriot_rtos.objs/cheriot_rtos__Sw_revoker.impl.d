@@ -1,0 +1,1 @@
+lib/rtos/sw_revoker.ml: Cheriot_core Cheriot_mem Cheriot_uarch Clock

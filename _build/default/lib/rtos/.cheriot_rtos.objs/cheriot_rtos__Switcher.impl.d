@@ -1,0 +1,1 @@
+lib/rtos/switcher.ml: Cheriot_mem Clock

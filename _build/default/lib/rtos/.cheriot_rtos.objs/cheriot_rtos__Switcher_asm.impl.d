@@ -1,0 +1,1 @@
+lib/rtos/switcher_asm.ml: Asm Cheriot_isa Csr Insn

@@ -1,0 +1,63 @@
+(** The RTOS cycle ledger.
+
+    The RTOS layer (allocator, switcher, scheduler) is modelled as
+    privileged code operating on the simulated SRAM; its operations are
+    charged cycles according to the core model, and every cycle in which
+    the main pipeline does not use the data bus is granted to the
+    background revoker engine (paper 3.3.3). *)
+
+type t = {
+  params : Cheriot_uarch.Core_model.params;
+  mutable cycles : int;
+  mutable hw_revoker : Cheriot_uarch.Revoker.t option;
+  mutable revoker_enabled : bool;
+      (** set false to model phases whose memory traffic starves the
+          engine (the Flute polling quirk of 7.2.2) *)
+}
+
+let create params =
+  { params; cycles = 0; hw_revoker = None; revoker_enabled = true }
+
+let cycles t = t.cycles
+
+let attach_revoker t r = t.hw_revoker <- Some r
+
+(** [advance t n ~mem_busy] passes [n] cycles of which [mem_busy] keep the
+    data bus occupied; the rest feed the revoker. *)
+let advance ?(mem_busy = 0) t n =
+  if n > 0 then begin
+    t.cycles <- t.cycles + n;
+    match t.hw_revoker with
+    | Some r when t.revoker_enabled ->
+        for _ = 1 to n - mem_busy do
+          Cheriot_uarch.Revoker.tick r
+        done
+    | Some _ | None -> ()
+  end
+
+(** Charge an ALU/bookkeeping cost (no bus). *)
+let compute t n = advance t n
+
+(** Charge [n] word-sized (32-bit) data accesses. *)
+let word_ops t n =
+  let c = n * (t.params.base + t.params.mem_extra) in
+  advance t c ~mem_busy:n
+
+(** Charge [n] capability-sized (64-bit) accesses. *)
+let cap_ops t n =
+  let beats = 8 / t.params.bus_bytes in
+  let c = n * (t.params.base + t.params.mem_extra + beats - 1) in
+  advance t c ~mem_busy:(n * beats)
+
+(** Cycles to zero [bytes] of memory with a store loop (the switcher's
+    stack clearing, the allocator's free-time zeroing).  One
+    capability-width store per 8 bytes plus loop overhead. *)
+let zero_cost t bytes =
+  let granules = (bytes + 7) / 8 in
+  let beats = 8 / t.params.bus_bytes in
+  (granules * beats) + (granules / 4)
+
+let charge_zero t bytes =
+  let granules = (bytes + 7) / 8 in
+  let beats = 8 / t.params.bus_bytes in
+  advance t (zero_cost t bytes) ~mem_busy:(granules * beats)

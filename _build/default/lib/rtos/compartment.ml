@@ -1,0 +1,50 @@
+(** Compartment definitions for the machine-level RTOS (paper 2.2, 2.6).
+
+    A compartment is a contiguous region of code and global data.  Its
+    exports are entry points, each with an interrupt posture (the sentry
+    type used to seal the entry, 3.1.2); its imports name other
+    compartments' exports and are resolved by the static linker
+    ({!Loader}) when the compartments are linked into a single image.
+
+    At run time a compartment's code is reachable only through its PCC
+    (bounded to the code region, no SR permission) and its data through
+    the globals register CGP (bounded, no Store-Local).  Cross-compartment
+    calls go through the switcher ({!Switcher_asm}). *)
+
+(** Interrupt posture of an exported entry point: which sentry type the
+    loader seals the entry with (3.1.2). *)
+type posture =
+  | Interrupts_enabled
+  | Interrupts_disabled
+  | Interrupts_inherited
+
+type export = {
+  exp_label : string;  (** assembler label of the entry point *)
+  exp_posture : posture;
+}
+
+type import = {
+  imp_compartment : string;
+  imp_export : string;
+  imp_slot : int;
+      (** globals offset (in bytes) where the loader writes the sealed
+          export capability; slot 0 of every compartment is reserved for
+          the switcher's cross-call sentry *)
+}
+
+type t = {
+  name : string;
+  code : Cheriot_isa.Asm.item list;
+  globals_size : int;
+  exports : export list;
+  imports : import list;
+}
+
+let v ?(exports = []) ?(imports = []) ~name ~globals_size code =
+  { name; code; globals_size; exports; imports }
+
+(** Reserved globals slots: offset 0 holds the switcher's cross-call
+    sentry in every compartment. *)
+let switcher_slot = 0
+
+let first_free_slot = 8

@@ -1,0 +1,59 @@
+(** The virtualized sealing service (paper 3.2.2, footnote 5): unbounded
+    software otypes bootstrapped from a single reserved hardware data
+    otype, in the style of the CHERIoT RTOS token library.  See the
+    implementation header for the design discussion. *)
+
+type t
+
+val allocator_otype : int
+(** The hardware data otype the allocator compartment reserves for
+    virtualized sealing. *)
+
+type error =
+  | Wrong_key
+  | Not_a_sealed_object
+  | Key_space_exhausted
+  | Alloc_error of Allocator.error
+
+val pp_error : Format.formatter -> error -> unit
+
+val create :
+  alloc:Allocator.t ->
+  sram:Cheriot_mem.Sram.t ->
+  key_space_base:int ->
+  max_keys:int ->
+  t
+(** [create ~alloc ~sram ~key_space_base ~max_keys]: the service mints
+    keys over the private region [[key_space_base,
+    key_space_base + 8*max_keys)]. *)
+
+val new_key : t -> (Cheriot_core.Capability.t, error) result
+(** Mint a fresh software sealing key: an unforgeable capability over a
+    unique slot of the key space, with no store rights. *)
+
+val seal_alloc :
+  t ->
+  key:Cheriot_core.Capability.t ->
+  int ->
+  (Cheriot_core.Capability.t * Cheriot_core.Capability.t, error) result
+(** [seal_alloc t ~key size] allocates a [size]-byte object sealed with
+    [key] and returns [(opaque_handle, payload)]: the handle may be given
+    away freely; only presenting it together with [key] recovers the
+    payload. *)
+
+val unseal :
+  t ->
+  key:Cheriot_core.Capability.t ->
+  Cheriot_core.Capability.t ->
+  (Cheriot_core.Capability.t, error) result
+(** Recover the payload capability from a handle; fails on a wrong or
+    forged key, a tampered (untagged) handle, or a non-handle. *)
+
+val destroy :
+  t ->
+  key:Cheriot_core.Capability.t ->
+  Cheriot_core.Capability.t ->
+  (unit, error) result
+(** Free the sealed object through the allocator: it is quarantined and
+    revocation invalidates every outstanding handle and payload
+    capability, like any other heap pointer. *)

@@ -1,0 +1,148 @@
+(** The compartment switcher, in machine code (paper 2.6, 5.2).
+
+    This is the trusted routine — a little over a hundred hand-written
+    instructions here, "a little over 300" with scheduling in the real
+    RTOS — that all cross-compartment control flow passes through.  It
+    runs from a sentry that disables interrupts and with a PCC that has
+    the SR permission (no compartment's PCC does), and it is the only
+    code holding the export unsealing key.
+
+    Call path ([cross_call]; caller puts the sealed export in ct1 and
+    jumps to the switcher sentry found at globals slot 0):
+
+    + unseal the export descriptor (traps on a forged/mis-sealed value),
+    + push caller SP/CGP/return-sentry and the stack high-water mark
+      onto the trusted stack (switcher-private memory via MScratchC),
+    + chop the stack: the callee's CSP covers only [stack_base, SP),
+      so the caller's frames above SP are out of bounds (5.2),
+    + zero [mshwm, SP) — the freshly delegated region — and reset the
+      high-water mark (5.2.1),
+    + load the callee's PCC (a sentry carrying the export's interrupt
+      posture) and CGP from the descriptor, clear every register the
+      callee should not see, and jump.
+
+    Return path ([cross_return]; the callee's RA is a switcher return
+    sentry): zero exactly the stack the callee dirtied ([mshwm, SP)),
+    pop and restore the caller's state, and jump through the caller's
+    return sentry, which restores its interrupt posture.
+
+    Switcher data layout (via MScratchC, which has SL so the trusted
+    stack may hold the callers' local stack capabilities):
+
+    {v off 0:  export unseal key        off 8:  cross_return sentry
+       off 16: trusted-stack index      off 24: frames (32 B each)    v}
+
+    Descriptor layout (sealed with the switcher otype, built by the
+    loader): [entry sentry at +0 | callee CGP at +8]. *)
+
+open Cheriot_isa
+
+let ra = Insn.reg_ra
+let sp = Insn.reg_sp
+let gp = Insn.reg_gp
+let tp = Insn.reg_tp
+let t0 = Insn.reg_t0
+let t1 = Insn.reg_t1
+let t2 = Insn.reg_t2
+let s0 = Insn.reg_s0
+let s1 = Insn.reg_s1
+let a2 = Insn.reg_a2
+let a3 = Insn.reg_a3
+let a4 = Insn.reg_a4
+let a5 = Insn.reg_a5
+
+(** The otype (data namespace) sealing export descriptors. *)
+let export_otype = 1
+
+let code : Asm.item list =
+  [
+    (* ------------------------------------------------ cross_call --- *)
+    Asm.Label "switcher_cross_call";
+    (* ct0 := switcher data (SR-protected special register) *)
+    Asm.I (Insn.Cspecialrw (t0, MScratchC, 0));
+    (* unseal the export descriptor; a forged value traps here *)
+    Asm.I (Insn.Clc (s0, t0, 0));
+    Asm.I (Insn.Cunseal (t1, t1, s0));
+    (* trusted-stack frame base: ct2 = data + 24 + index *)
+    Asm.I (Insn.Load { signed = true; width = W; rd = s1; rs1 = t0; off = 16 });
+    Asm.I (Insn.Cincaddrimm (t2, t0, 24));
+    Asm.I (Insn.Cincaddr (t2, t2, s1));
+    (* push caller state *)
+    Asm.I (Insn.Csc (sp, t2, 0));
+    Asm.I (Insn.Csc (gp, t2, 8));
+    Asm.I (Insn.Csc (ra, t2, 16));
+    Asm.I (Insn.Csr (Csrrs, a5, 0, Csr.mshwm));
+    Asm.I (Insn.Store { width = W; rs2 = a5; rs1 = t2; off = 24 });
+    Asm.I (Insn.Op_imm (Add, s1, s1, 32));
+    Asm.I (Insn.Store { width = W; rs2 = s1; rs1 = t0; off = 16 });
+    (* chop the stack: CSP := [base, sp) with address back at sp *)
+    Asm.I (Insn.Cget (Base, t2, sp));
+    Asm.I (Insn.Cget (Addr, s1, sp));
+    Asm.I (Insn.Op (Sub, s1, s1, t2));
+    Asm.I (Insn.Csetaddr (sp, sp, t2));
+    Asm.I (Insn.Csetbounds (sp, sp, s1));
+    Asm.I (Insn.Cincaddr (sp, sp, s1));
+    (* zero the delegated region [mshwm, sp) *)
+    Asm.I (Insn.Csr (Csrrs, t2, 0, Csr.mshwm));
+    Asm.I (Insn.Cget (Addr, s1, sp));
+    Asm.Label "swc_zero_entry";
+    Asm.B (Insn.Geu, t2, s1, "swc_zero_done");
+    Asm.I (Insn.Csetaddr (a5, sp, t2));
+    Asm.I (Insn.Csc (0, a5, 0));
+    Asm.I (Insn.Op_imm (Add, t2, t2, 8));
+    Asm.J (0, "swc_zero_entry");
+    Asm.Label "swc_zero_done";
+    (* reset the high-water mark to the chop point *)
+    Asm.I (Insn.Csr (Csrrw, 0, s1, Csr.mshwm));
+    (* callee CGP and entry sentry from the descriptor *)
+    Asm.I (Insn.Clc (gp, t1, 8));
+    Asm.I (Insn.Clc (t1, t1, 0));
+    (* the callee returns through the switcher *)
+    Asm.I (Insn.Clc (ra, t0, 8));
+    (* scrub everything the callee must not see *)
+    Asm.I (Insn.Cmove (t0, 0));
+    Asm.I (Insn.Cmove (t2, 0));
+    Asm.I (Insn.Cmove (s0, 0));
+    Asm.I (Insn.Cmove (s1, 0));
+    Asm.I (Insn.Cmove (tp, 0));
+    Asm.I (Insn.Cmove (a2, 0));
+    Asm.I (Insn.Cmove (a3, 0));
+    Asm.I (Insn.Cmove (a4, 0));
+    Asm.I (Insn.Cmove (a5, 0));
+    (* enter the callee; the entry sentry applies the export's posture *)
+    Asm.I (Insn.Jalr (0, t1, 0));
+    (* ---------------------------------------------- cross_return --- *)
+    Asm.Label "switcher_cross_return";
+    Asm.I (Insn.Cspecialrw (t0, MScratchC, 0));
+    (* zero exactly what the callee used: [mshwm, sp) *)
+    Asm.I (Insn.Csr (Csrrs, t2, 0, Csr.mshwm));
+    Asm.I (Insn.Cget (Addr, s1, sp));
+    Asm.Label "swr_zero";
+    Asm.B (Insn.Geu, t2, s1, "swr_zero_done");
+    Asm.I (Insn.Csetaddr (a5, sp, t2));
+    Asm.I (Insn.Csc (0, a5, 0));
+    Asm.I (Insn.Op_imm (Add, t2, t2, 8));
+    Asm.J (0, "swr_zero");
+    Asm.Label "swr_zero_done";
+    (* pop the trusted stack *)
+    Asm.I (Insn.Load { signed = true; width = W; rd = s1; rs1 = t0; off = 16 });
+    Asm.I (Insn.Op_imm (Add, s1, s1, -32));
+    Asm.I (Insn.Store { width = W; rs2 = s1; rs1 = t0; off = 16 });
+    Asm.I (Insn.Cincaddrimm (t2, t0, 24));
+    Asm.I (Insn.Cincaddr (t2, t2, s1));
+    (* restore the caller *)
+    Asm.I (Insn.Clc (sp, t2, 0));
+    Asm.I (Insn.Clc (gp, t2, 8));
+    Asm.I (Insn.Clc (ra, t2, 16));
+    Asm.I (Insn.Load { signed = true; width = W; rd = a5; rs1 = t2; off = 24 });
+    Asm.I (Insn.Csr (Csrrw, 0, a5, Csr.mshwm));
+    (* scrub switcher state *)
+    Asm.I (Insn.Cmove (t0, 0));
+    Asm.I (Insn.Cmove (t1, 0));
+    Asm.I (Insn.Cmove (t2, 0));
+    Asm.I (Insn.Cmove (s0, 0));
+    Asm.I (Insn.Cmove (s1, 0));
+    Asm.I (Insn.Cmove (a5, 0));
+    (* back to the caller; its return sentry restores its posture *)
+    Asm.I (Insn.Jalr (0, ra, 0));
+  ]

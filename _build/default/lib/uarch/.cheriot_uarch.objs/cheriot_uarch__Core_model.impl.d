@@ -1,0 +1,1 @@
+lib/uarch/core_model.ml: Cheriot_isa Printf

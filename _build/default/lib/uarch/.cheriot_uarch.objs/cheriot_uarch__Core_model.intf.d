@@ -1,0 +1,1 @@
+lib/uarch/core_model.mli: Cheriot_isa

@@ -1,0 +1,1 @@
+lib/uarch/perf.ml: Cheriot_isa Core_model Format Revoker

@@ -1,0 +1,1 @@
+lib/uarch/perf.mli: Cheriot_isa Core_model Format Revoker

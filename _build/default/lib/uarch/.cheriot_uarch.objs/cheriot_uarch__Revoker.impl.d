@@ -1,0 +1,1 @@
+lib/uarch/revoker.ml: Capability Cheriot_core Cheriot_mem Core_model Int64

@@ -1,0 +1,1 @@
+lib/uarch/revoker.mli: Cheriot_mem Core_model

@@ -1,0 +1,92 @@
+module Machine = Cheriot_isa.Machine
+
+type stats = { cycles : int; instructions : int; mem_busy : int; traps : int }
+
+let cpi s =
+  if s.instructions = 0 then 0.0
+  else float_of_int s.cycles /. float_of_int s.instructions
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%d cycles, %d insns (CPI %.2f), %d mem-busy, %d traps"
+    s.cycles s.instructions (cpi s) s.mem_busy s.traps
+
+type t = {
+  machine : Machine.t;
+  params : Core_model.params;
+  revoker : Revoker.t option;
+  mutable stats : stats;
+}
+
+let create ?revoker ~params machine =
+  {
+    machine;
+    params;
+    revoker;
+    stats = { cycles = 0; instructions = 0; mem_busy = 0; traps = 0 };
+  }
+
+let charge t ev =
+  let cycles =
+    Core_model.cycles_of_event t.params
+      ~load_filter:t.machine.Machine.load_filter ev
+  in
+  let busy = Core_model.mem_cycles_of_event t.params ev in
+  t.machine.Machine.mcycle <- t.machine.Machine.mcycle + cycles;
+  (match t.revoker with
+  | Some r ->
+      (* The background engine steals the load-store unit whenever the
+         main pipeline is not using it (3.3.3). *)
+      for _ = 1 to max 0 (cycles - busy) do
+        Revoker.tick r
+      done
+  | None -> ());
+  t.stats <-
+    {
+      cycles = t.stats.cycles + cycles;
+      instructions =
+        (t.stats.instructions + match ev.Machine.ev_insn with Some _ -> 1 | None -> 0);
+      mem_busy = t.stats.mem_busy + busy;
+      traps =
+        (t.stats.traps + match ev.Machine.ev_trap with Some _ -> 1 | None -> 0);
+    }
+
+let step t =
+  let r = Machine.step t.machine in
+  (match r with
+  | Machine.Step_waiting ->
+      (* WFI idle: one cycle passes, fully available to the revoker. *)
+      t.machine.Machine.mcycle <- t.machine.Machine.mcycle + 1;
+      (match t.revoker with Some rv -> Revoker.tick rv | None -> ());
+      t.stats <- { t.stats with cycles = t.stats.cycles + 1 }
+  | Machine.Step_ok | Machine.Step_trap _ | Machine.Step_halted
+  | Machine.Step_double_fault ->
+      charge t t.machine.Machine.last_event);
+  r
+
+let run ?(fuel = 50_000_000) t =
+  let wake_source () =
+    (* A pending or future timer interrupt can end a WFI. *)
+    t.machine.Machine.mtimecmp <> 0 || Machine.interrupt_pending t.machine
+  in
+  let rec go n last =
+    if n >= fuel then last
+    else
+      match step t with
+      | (Machine.Step_ok | Machine.Step_trap _) as r -> go (n + 1) r
+      | Machine.Step_waiting when wake_source () ->
+          go (n + 1) Machine.Step_waiting
+      | (Machine.Step_waiting | Machine.Step_halted | Machine.Step_double_fault)
+        as r ->
+          r
+  in
+  go 0 Machine.Step_ok
+
+let idle_until t cond =
+  let spent = ref 0 in
+  while (not (cond ())) && !spent < 100_000_000 do
+    incr spent;
+    t.machine.Machine.mcycle <- t.machine.Machine.mcycle + 1;
+    match t.revoker with Some r -> Revoker.tick r | None -> ()
+  done;
+  t.stats <- { t.stats with cycles = t.stats.cycles + !spent };
+  !spent

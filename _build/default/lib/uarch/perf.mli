@@ -1,0 +1,36 @@
+(** The performance harness: runs the ISA emulator under a cycle model,
+    advancing [mcycle], feeding idle memory cycles to the background
+    revoker, and collecting statistics. *)
+
+type stats = {
+  cycles : int;
+  instructions : int;
+  mem_busy : int;  (** cycles the data bus was busy with CPU traffic *)
+  traps : int;
+}
+
+val cpi : stats -> float
+val pp_stats : Format.formatter -> stats -> unit
+
+type t = {
+  machine : Cheriot_isa.Machine.t;
+  params : Core_model.params;
+  revoker : Revoker.t option;
+  mutable stats : stats;
+}
+
+val create : ?revoker:Revoker.t -> params:Core_model.params ->
+  Cheriot_isa.Machine.t -> t
+
+val step : t -> Cheriot_isa.Machine.result
+(** One instruction: steps the machine, charges cycles, grants the
+    revoker the idle memory slots of those cycles. *)
+
+val run : ?fuel:int -> t -> Cheriot_isa.Machine.result
+(** Run until halt / double fault / WFI-with-no-interrupt-source, or
+    [fuel] instructions (default 50M). *)
+
+val idle_until : t -> (unit -> bool) -> int
+(** Model an idle CPU (e.g. blocked on revocation): burn cycles — all of
+    them available to the revoker — until the condition holds; returns
+    the cycles spent.  Gives up after 100M cycles. *)

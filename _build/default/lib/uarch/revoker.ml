@@ -1,0 +1,165 @@
+open Cheriot_core
+module Sram = Cheriot_mem.Sram
+module Revbits = Cheriot_mem.Revbits
+module Mmio = Cheriot_mem.Mmio
+module Bus = Cheriot_mem.Bus
+
+type slot = { s_addr : int; s_tag : bool; s_word : int64; mutable dirty : bool }
+
+type t = {
+  sram : Sram.t;
+  rev : Revbits.t;
+  pipelined : bool;
+  bus_beats : int;  (** bus beats per 8-byte load (1 on Flute, 2 on Ibex) *)
+  mutable start_a : int;
+  mutable end_a : int;
+  mutable epoch : int;
+  mutable sweeping : bool;
+  mutable pos : int;
+  mutable s1 : slot option;  (** just loaded *)
+  mutable s2 : slot option;  (** revocation bit being checked *)
+  mutable stall : int;  (** remaining beats of the bus op in progress *)
+  mutable n_invalidated : int;
+  mutable n_swept : int;
+  mutable n_busy : int;
+  mutable n_race : int;
+}
+
+let create ?(pipelined = true) ~core ~sram ~rev () =
+  {
+    sram;
+    rev;
+    pipelined;
+    bus_beats = (match (core : Core_model.core) with Flute -> 1 | Ibex -> 2);
+    start_a = 0;
+    end_a = 0;
+    epoch = 0;
+    sweeping = false;
+    pos = 0;
+    s1 = None;
+    s2 = None;
+    stall = 0;
+    n_invalidated = 0;
+    n_swept = 0;
+    n_busy = 0;
+    n_race = 0;
+  }
+
+let epoch t = t.epoch
+let sweeping t = t.sweeping
+let caps_invalidated t = t.n_invalidated
+let words_swept t = t.n_swept
+let busy_cycles t = t.n_busy
+let race_reloads t = t.n_race
+
+let kick t ~start ~stop =
+  if not t.sweeping then begin
+    t.start_a <- start land lnot 7;
+    t.end_a <- stop land lnot 7;
+    t.pos <- t.start_a;
+    t.s1 <- None;
+    t.s2 <- None;
+    t.stall <- 0;
+    t.sweeping <- true;
+    t.epoch <- t.epoch + 1
+  end
+
+let snoop_store t addr =
+  let hit s =
+    match s with
+    | Some slot when slot.s_addr = addr ->
+        slot.dirty <- true;
+        t.n_race <- t.n_race + 1
+    | Some _ | None -> ()
+  in
+  if t.sweeping then begin
+    hit t.s1;
+    hit t.s2
+  end
+
+let load_slot t addr =
+  let tag, word = Sram.read_cap t.sram addr in
+  { s_addr = addr; s_tag = tag; s_word = word; dirty = false }
+
+let needs_invalidation t slot =
+  slot.s_tag
+  && Revbits.is_revoked t.rev
+       (Capability.base (Capability.of_word ~tag:slot.s_tag slot.s_word))
+
+let finish_if_done t =
+  if t.pos >= t.end_a && t.s1 = None && t.s2 = None then begin
+    t.sweeping <- false;
+    t.epoch <- t.epoch + 1
+  end
+
+(* One idle bus cycle granted by the core.  At most one bus beat happens
+   per tick; multi-beat operations (the 33-bit Ibex bus) stall via
+   [t.stall].  Invalidation uses a single half-word write — clearing one
+   micro-tag clears the architectural tag (paper 7.2.2) — so it costs one
+   beat even on Ibex. *)
+let tick t =
+  if t.sweeping then begin
+    t.n_busy <- t.n_busy + 1;
+    if t.stall > 0 then t.stall <- t.stall - 1
+    else
+      match t.s2 with
+      | Some slot when slot.dirty ->
+          (* Race: the main pipeline overwrote an in-flight word; reload
+             before deciding anything (3.3.3). *)
+          t.s2 <- Some (load_slot t slot.s_addr);
+          t.stall <- t.bus_beats - 1
+      | Some slot when needs_invalidation t slot ->
+          (* Single write clears the micro-tag, invalidating the cap. *)
+          Sram.write32 t.sram slot.s_addr
+            (Int64.to_int (Int64.logand slot.s_word 0xFFFF_FFFFL));
+          t.n_invalidated <- t.n_invalidated + 1;
+          t.n_swept <- t.n_swept + 1;
+          t.s2 <- t.s1;
+          t.s1 <- None;
+          finish_if_done t
+      | s2 ->
+          (* Clean retire (no bus needed for the check itself): advance
+             the pipeline and issue the next load. *)
+          if s2 <> None then t.n_swept <- t.n_swept + 1;
+          t.s2 <- t.s1;
+          t.s1 <- None;
+          let may_issue =
+            t.pos < t.end_a
+            && (t.pipelined || (t.s1 = None && t.s2 = None))
+          in
+          if may_issue then begin
+            t.s1 <- Some (load_slot t t.pos);
+            t.pos <- t.pos + 8;
+            t.stall <- t.bus_beats - 1
+          end;
+          finish_if_done t
+  end
+
+let run_to_completion t =
+  let n = ref 0 in
+  while t.sweeping do
+    tick t;
+    incr n
+  done;
+  !n
+
+let mmio t ~base =
+  let read32 off =
+    match off with
+    | 0 -> t.start_a
+    | 4 -> t.end_a
+    | 8 -> t.epoch
+    | _ -> 0
+  in
+  let write32 off v =
+    match off with
+    | 0 -> t.start_a <- v land lnot 7
+    | 4 -> t.end_a <- v land lnot 7
+    | 12 -> kick t ~start:t.start_a ~stop:t.end_a
+    | _ -> ()
+  in
+  { Mmio.name = "revoker"; dev_base = base; dev_size = 16; read32; write32 }
+
+let attach t bus ~base =
+  Bus.add_device bus (mmio t ~base);
+  Bus.on_store bus (snoop_store t)

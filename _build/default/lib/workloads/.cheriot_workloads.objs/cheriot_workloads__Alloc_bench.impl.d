@@ -1,0 +1,1 @@
+lib/workloads/alloc_bench.ml: Cheriot_mem Cheriot_rtos Cheriot_uarch Fmt Printf

@@ -1,0 +1,1 @@
+lib/workloads/coremark.ml: Asm Cheriot_core Cheriot_isa Cheriot_mem Cheriot_uarch Insn List Machine

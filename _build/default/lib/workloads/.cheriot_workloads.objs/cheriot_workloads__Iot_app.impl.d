@@ -1,0 +1,1 @@
+lib/workloads/iot_app.ml: Cheriot_mem Cheriot_rtos Cheriot_uarch Fmt List

@@ -1,0 +1,1 @@
+test/test_area.ml: Alcotest Cheriot_area List Printf

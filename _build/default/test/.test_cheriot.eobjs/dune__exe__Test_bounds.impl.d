@@ -1,0 +1,1 @@
+test/test_bounds.ml: Alcotest Bounds Cheriot_core List Option Printf QCheck QCheck_alcotest

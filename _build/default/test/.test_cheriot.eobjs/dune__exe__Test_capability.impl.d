@@ -1,0 +1,1 @@
+test/test_capability.ml: Alcotest Capability Cheriot_core Fmt Int64 List Otype Perm QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_compartments.ml: Alcotest Asm Capability Cheriot_core Cheriot_isa Cheriot_mem Cheriot_rtos Csr Insn List Machine

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Array Capability Cheriot_core Cheriot_isa Cheriot_mem Encode Fmt Insn List Machine Perm Printf QCheck QCheck_alcotest String

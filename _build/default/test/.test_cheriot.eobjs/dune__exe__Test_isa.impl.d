@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Asm Capability Cheriot_core Cheriot_isa Cheriot_mem Csr Encode Insn Machine Otype Perm QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Array Bus Bytes Char Cheriot_mem Int32 Mmio QCheck QCheck_alcotest Revbits Sram

@@ -1,0 +1,1 @@
+test/test_perm.ml: Alcotest Cheriot_core Fmt Option Perm Printf QCheck QCheck_alcotest Set

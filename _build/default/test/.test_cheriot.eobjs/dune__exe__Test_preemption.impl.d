@@ -1,0 +1,1 @@
+test/test_preemption.ml: Alcotest Asm Capability Cheriot_core Cheriot_isa Cheriot_mem Cheriot_rtos Cheriot_uarch Insn Machine Printf

@@ -1,0 +1,1 @@
+test/test_rtos.ml: Alcotest Bounds Capability Cheriot_core Cheriot_mem Cheriot_rtos Cheriot_uarch Gen List Printf QCheck QCheck_alcotest String

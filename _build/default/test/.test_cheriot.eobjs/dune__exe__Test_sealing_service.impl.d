@@ -1,0 +1,1 @@
+test/test_sealing_service.ml: Alcotest Capability Cheriot_core Cheriot_mem Cheriot_rtos Cheriot_uarch List

@@ -1,0 +1,1 @@
+test/test_uarch.ml: Alcotest Capability Cheriot_core Cheriot_isa Cheriot_mem Cheriot_uarch Core_model Printf Revoker

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Cheriot_rtos Cheriot_uarch Cheriot_workloads List Printf

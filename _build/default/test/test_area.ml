@@ -1,0 +1,71 @@
+(* Tests for the Table 2 area/power model. *)
+
+module Gates = Cheriot_area.Gates
+
+let paper =
+  [
+    ("RV32E", 26988, 1.437);
+    ("RV32E + PMP16", 55905, 2.16);
+    ("RV32E + capabilities", 58110, 2.58);
+    ("  + load filter", 58431, 2.58);
+    ("    + background revoker", 61422, 2.73);
+  ]
+
+let test_gate_totals () =
+  List.iter2
+    (fun (name, gates, _, _, _) (pname, pgates, _) ->
+      Alcotest.(check string) "row order" pname name;
+      Alcotest.(check int) (name ^ " gates") pgates gates)
+    (Gates.table2 ()) paper
+
+let test_power_close () =
+  List.iter2
+    (fun (name, _, _, power, _) (_, _, ppower) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s power %.3f ~ %.3f" name power ppower)
+        true
+        (abs_float (power -. ppower) < 0.02))
+    (Gates.table2 ()) paper
+
+let test_paper_ratios () =
+  (* The textual claims of 7.1. *)
+  let rows = Gates.table2 () in
+  let gates i = match List.nth rows i with _, g, _, _, _ -> g in
+  let pmp = gates 1 and caps = gates 2 and filt = gates 3 and rev = gates 4 in
+  (* "CHERIoT with its load filter requires an additional 4.5% gate
+     overhead relative to the PMP" *)
+  let filter_vs_pmp = 100.0 *. float_of_int (filt - pmp) /. float_of_int pmp in
+  Alcotest.(check bool)
+    (Printf.sprintf "filter vs PMP +%.1f%% ~ 4.5%%" filter_vs_pmp)
+    true
+    (abs_float (filter_vs_pmp -. 4.5) < 0.5);
+  (* "adding the optimized background revoker takes the area overhead
+     relative to the 16-element PMP baseline up to a little under 10%" *)
+  let rev_vs_pmp = 100.0 *. float_of_int (rev - pmp) /. float_of_int pmp in
+  Alcotest.(check bool)
+    (Printf.sprintf "revoker vs PMP +%.1f%% < 10%%" rev_vs_pmp)
+    true
+    (rev_vs_pmp > 8.0 && rev_vs_pmp < 10.0);
+  (* both PMP and CHERIoT more than double the tiny baseline *)
+  Alcotest.(check bool) "PMP doubles Ibex" true (pmp > 2 * gates 0);
+  Alcotest.(check bool) "caps double Ibex" true (caps > 2 * gates 0)
+
+let test_monotone_variants () =
+  let rec mono = function
+    | (_, g1, _, p1, _) :: ((_, g2, _, p2, _) :: _ as rest) ->
+        Alcotest.(check bool) "gates grow within CHERI rows" true (g2 > g1 || g1 = 55905);
+        Alcotest.(check bool) "power nondecreasing within CHERI rows" true
+          (p2 >= p1 -. 0.45);
+        mono rest
+    | _ -> ()
+  in
+  mono (Gates.table2 ())
+
+let suite =
+  [
+    Alcotest.test_case "gate totals match Table 2" `Quick test_gate_totals;
+    Alcotest.test_case "power within 0.02 mW of Table 2" `Quick
+      test_power_close;
+    Alcotest.test_case "7.1 textual ratios" `Quick test_paper_ratios;
+    Alcotest.test_case "variants monotone" `Quick test_monotone_variants;
+  ]

@@ -1,0 +1,19 @@
+(* Test driver: one Alcotest suite per library/module group. *)
+let () =
+  Alcotest.run "cheriot"
+    [
+      ("perm", Test_perm.suite);
+      ("bounds", Test_bounds.suite);
+      ("capability", Test_capability.suite);
+      ("mem", Test_mem.suite);
+      ("isa", Test_isa.suite);
+      ("uarch", Test_uarch.suite);
+      ("rtos", Test_rtos.suite);
+      ("compartments", Test_compartments.suite);
+      ("preemption", Test_preemption.suite);
+      ("sealing-service", Test_sealing_service.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("integration", Test_integration.suite);
+      ("area", Test_area.suite);
+      ("workloads", Test_workloads.suite);
+    ]

@@ -1,0 +1,333 @@
+(* Machine-level compartmentalization tests: real compartments linked by
+   the loader, crossing through the machine-code switcher, on the ISA
+   emulator.  These demonstrate the paper's section 2.3 guarantees as
+   executable facts. *)
+
+open Cheriot_core
+open Cheriot_isa
+module Compartment = Cheriot_rtos.Compartment
+module Loader = Cheriot_rtos.Loader
+module Sram = Cheriot_mem.Sram
+
+let a0 = Insn.reg_a0
+let t0 = Insn.reg_t0
+let t1 = Insn.reg_t1
+let t2 = Insn.reg_t2
+let sp = Insn.reg_sp
+let gp = Insn.reg_gp
+let ra = Insn.reg_ra
+
+let sw rs2 rs1 off = Asm.I (Insn.Store { width = W; rs2; rs1; off })
+let lw rd rs1 off = Asm.I (Insn.Load { signed = true; width = W; rd; rs1; off })
+
+(* call the export whose sealed descriptor sits at globals slot 8 *)
+let call_import =
+  [
+    Asm.I (Insn.Clc (t1, gp, 8));
+    Asm.I (Insn.Clc (t2, gp, Compartment.switcher_slot));
+    Asm.I (Insn.Jalr (ra, t2, 0));
+  ]
+
+let secret = 0x5ec2e7
+
+let alice_main ~check =
+  Compartment.v ~name:"alice" ~globals_size:64
+    ~exports:[ { exp_label = "main"; exp_posture = Interrupts_enabled } ]
+    ~imports:
+      [ { imp_compartment = "bob"; imp_export = "service"; imp_slot = 8 } ]
+    (List.concat
+       [
+         [
+           Asm.Label "main";
+           (* a frame with a secret, live across the call *)
+           Asm.I (Insn.Cincaddrimm (sp, sp, -16));
+           Asm.Li (t0, secret);
+           sw t0 sp 0;
+           Asm.Li (a0, 21);
+         ];
+         call_import;
+         check;
+         [ Asm.I Insn.Ebreak ];
+       ])
+
+let link ?(bob_body = []) ?(check = []) ?(bob_posture = Compartment.Interrupts_enabled) () =
+  let bob =
+    Compartment.v ~name:"bob" ~globals_size:64
+      ~exports:[ { exp_label = "service"; exp_posture = bob_posture } ]
+      (List.concat
+         [
+           [ Asm.Label "service" ];
+           bob_body;
+           [ Asm.Ret ];
+         ])
+  in
+  Loader.link [ alice_main ~check; bob ] ~boot:("alice", "main")
+
+let expect_halt t =
+  match Loader.run t with
+  | Machine.Step_halted, _ -> ()
+  | Machine.Step_double_fault, _ ->
+      Alcotest.failf "double fault: mcause=%d mtval=0x%x"
+        t.Loader.machine.Machine.mcause t.Loader.machine.Machine.mtval
+  | _ -> Alcotest.fail "did not halt"
+
+(* Did we halt at the trap stub (i.e. a CHERI fault was taken) or at the
+   program's own ebreak? *)
+let halted_in_trap_stub t =
+  Capability.address t.Loader.machine.Machine.pcc < 0x1_1000
+
+let test_cross_call_roundtrip () =
+  let bob_body =
+    [
+      (* use some stack, double the argument *)
+      Asm.I (Insn.Cincaddrimm (sp, sp, -16));
+      sw a0 sp 0;
+      lw a0 sp 0;
+      Asm.I (Insn.Op_imm (Sll, a0, a0, 1));
+      Asm.I (Insn.Cincaddrimm (sp, sp, 16));
+    ]
+  in
+  let check =
+    [
+      (* secret still in place? result correct? encode both in a0 *)
+      lw t0 sp 0;
+      Asm.Li (t1, secret);
+      Asm.B (Insn.Ne, t0, t1, "fail");
+      Asm.Li (t1, 42);
+      Asm.B (Insn.Ne, a0, t1, "fail");
+      Asm.Li (a0, 1);
+      Asm.I Insn.Ebreak;
+      Asm.Label "fail";
+      Asm.Li (a0, 0);
+    ]
+  in
+  let t = link ~bob_body ~check () in
+  expect_halt t;
+  Alcotest.(check bool) "halted normally" false (halted_in_trap_stub t);
+  Alcotest.(check int) "result + secret intact" 1
+    (Machine.reg_int t.Loader.machine a0)
+
+let test_callee_cannot_read_caller_frame () =
+  (* Bob's stack capability is chopped at Alice's SP: reading above it —
+     where the secret lives — must trap on bounds (2.3 guarantee 2). *)
+  let bob_body =
+    [
+      Asm.I (Insn.Cget (Top, t0, sp));
+      Asm.I (Insn.Csetaddr (t1, sp, t0));
+      lw a0 t1 0;
+    ]
+  in
+  let t = link ~bob_body () in
+  expect_halt t;
+  Alcotest.(check bool) "trapped" true (halted_in_trap_stub t);
+  Alcotest.(check int) "CHERI cause" 28 t.Loader.machine.Machine.mcause;
+  Alcotest.(check int) "bounds violation" 0x01
+    (t.Loader.machine.Machine.mtval lsr 5)
+
+let test_stale_stack_zeroed () =
+  (* Alice dirties stack below her SP (a dead frame), restores SP, then
+     calls.  Bob scans his whole stack for the secret: the switcher must
+     have zeroed the delegated region (5.2). *)
+  let alice =
+    Compartment.v ~name:"alice" ~globals_size:64
+      ~exports:[ { exp_label = "main"; exp_posture = Interrupts_enabled } ]
+      ~imports:
+        [ { imp_compartment = "bob"; imp_export = "service"; imp_slot = 8 } ]
+      (List.concat
+         [
+           [
+             Asm.Label "main";
+             (* dead frame full of secrets *)
+             Asm.I (Insn.Cincaddrimm (sp, sp, -64));
+             Asm.Li (t0, secret);
+             sw t0 sp 0;
+             sw t0 sp 8;
+             sw t0 sp 56;
+             Asm.I (Insn.Cincaddrimm (sp, sp, 64));
+           ];
+           call_import;
+           [ Asm.I Insn.Ebreak ];
+         ])
+  in
+  let bob =
+    Compartment.v ~name:"bob" ~globals_size:64
+      ~exports:[ { exp_label = "service"; exp_posture = Interrupts_enabled } ]
+      [
+        (* scan [stack_base, sp) for any nonzero word; a0 = hits *)
+        Asm.Label "service";
+        Asm.Li (a0, 0);
+        Asm.I (Insn.Cget (Base, t0, sp));
+        Asm.I (Insn.Cget (Addr, t2, sp));
+        Asm.Label "scan";
+        Asm.B (Insn.Geu, t0, t2, "done");
+        Asm.I (Insn.Csetaddr (t1, sp, t0));
+        lw t1 t1 0;
+        Asm.B (Insn.Eq, t1, 0, "next");
+        Asm.I (Insn.Op_imm (Add, a0, a0, 1));
+        Asm.Label "next";
+        Asm.I (Insn.Op_imm (Add, t0, t0, 4));
+        Asm.J (0, "scan");
+        Asm.Label "done";
+        Asm.Ret;
+      ]
+  in
+  let t = Loader.link [ alice; bob ] ~boot:("alice", "main") in
+  expect_halt t;
+  Alcotest.(check bool) "no trap" false (halted_in_trap_stub t);
+  Alcotest.(check int) "no secrets visible" 0
+    (Machine.reg_int t.Loader.machine a0)
+
+let test_stack_cap_cannot_be_captured () =
+  (* Bob tries to stash the (local) stack capability in his globals for
+     use after the call: permit-store-local traps (2.6, 5.2). *)
+  let bob_body = [ Asm.I (Insn.Csc (sp, gp, 16)) ] in
+  let t = link ~bob_body () in
+  expect_halt t;
+  Alcotest.(check bool) "trapped" true (halted_in_trap_stub t);
+  Alcotest.(check int) "store-local violation" 0x16
+    (t.Loader.machine.Machine.mtval lsr 5)
+
+let test_forged_export_rejected () =
+  (* Alice calls the switcher with an unsealed (forged) "descriptor":
+     the switcher's cunseal traps.  No way to reach bob's code without a
+     genuine export (2.2). *)
+  let alice =
+    Compartment.v ~name:"alice" ~globals_size:64
+      ~exports:[ { exp_label = "main"; exp_posture = Interrupts_enabled } ]
+      [
+        Asm.Label "main";
+        Asm.I (Insn.Cmove (t1, gp));
+        Asm.I (Insn.Clc (t2, gp, Compartment.switcher_slot));
+        Asm.I (Insn.Jalr (ra, t2, 0));
+        Asm.I Insn.Ebreak;
+      ]
+  in
+  let bob =
+    Compartment.v ~name:"bob" ~globals_size:64
+      ~exports:[ { exp_label = "service"; exp_posture = Interrupts_enabled } ]
+      [ Asm.Label "service"; Asm.Ret ]
+  in
+  let t = Loader.link [ alice; bob ] ~boot:("alice", "main") in
+  expect_halt t;
+  Alcotest.(check bool) "trapped in switcher" true (halted_in_trap_stub t);
+  Alcotest.(check int) "seal violation" 0x03
+    (t.Loader.machine.Machine.mtval lsr 5)
+
+let test_compartment_pcc_has_no_sr () =
+  (* Compartments cannot reach system registers: CSR access traps (so
+     only the switcher controls the HWM and trap vectors). *)
+  let alice =
+    Compartment.v ~name:"alice" ~globals_size:64
+      ~exports:[ { exp_label = "main"; exp_posture = Interrupts_enabled } ]
+      [
+        Asm.Label "main";
+        Asm.I (Insn.Csr (Csrrw, 0, t0, Csr.mshwm));
+        Asm.I Insn.Ebreak;
+      ]
+  in
+  let t = Loader.link [ alice ] ~boot:("alice", "main") in
+  expect_halt t;
+  Alcotest.(check bool) "trapped" true (halted_in_trap_stub t);
+  Alcotest.(check int) "access-system-registers" 0x18
+    (t.Loader.machine.Machine.mtval lsr 5)
+
+let test_nested_calls () =
+  (* alice -> bob -> carol: the trusted stack nests and unwinds. *)
+  let alice =
+    Compartment.v ~name:"alice" ~globals_size:64
+      ~exports:[ { exp_label = "main"; exp_posture = Interrupts_enabled } ]
+      ~imports:
+        [ { imp_compartment = "bob"; imp_export = "add10"; imp_slot = 8 } ]
+      (List.concat
+         [
+           [ Asm.Label "main"; Asm.Li (a0, 1) ];
+           call_import;
+           [ Asm.I Insn.Ebreak ];
+         ])
+  in
+  let bob =
+    Compartment.v ~name:"bob" ~globals_size:64
+      ~exports:[ { exp_label = "add10"; exp_posture = Interrupts_enabled } ]
+      ~imports:
+        [ { imp_compartment = "carol"; imp_export = "add100"; imp_slot = 8 } ]
+      (List.concat
+         [
+           [
+             Asm.Label "add10";
+             (* non-leaf: save the return sentry across the call *)
+             Asm.I (Insn.Cincaddrimm (sp, sp, -16));
+             Asm.I (Insn.Csc (ra, sp, 0));
+             Asm.I (Insn.Op_imm (Add, a0, a0, 10));
+           ];
+           call_import;
+           [
+             Asm.I (Insn.Clc (ra, sp, 0));
+             Asm.I (Insn.Cincaddrimm (sp, sp, 16));
+             Asm.Ret;
+           ];
+         ])
+  in
+  let carol =
+    Compartment.v ~name:"carol" ~globals_size:64
+      ~exports:[ { exp_label = "add100"; exp_posture = Interrupts_enabled } ]
+      [
+        Asm.Label "add100";
+        Asm.I (Insn.Op_imm (Add, a0, a0, 100));
+        Asm.Ret;
+      ]
+  in
+  let t = Loader.link [ alice; bob; carol ] ~boot:("alice", "main") in
+  expect_halt t;
+  Alcotest.(check bool) "no trap" false (halted_in_trap_stub t);
+  Alcotest.(check int) "1+10+100" 111 (Machine.reg_int t.Loader.machine a0)
+
+let test_interrupt_posture_of_export () =
+  (* An Interrupts_disabled export really runs with MIE clear, without
+     granting bob any right to toggle interrupts himself (3.1.2). *)
+  let seen = ref None in
+  let bob_body = [ Asm.I (Insn.Op_imm (Add, t0, 0, 0)) ] in
+  (* the machine boots with interrupts disabled; an Interrupts_enabled
+     export must run with MIE set, and the caller's (disabled) posture
+     must come back on return *)
+  let t = link ~bob_body ~bob_posture:Compartment.Interrupts_enabled () in
+  (* single-step so we can observe MIE while bob runs *)
+  let m = t.Loader.machine in
+  let bob_code =
+    (Loader.find t "bob").Loader.code_cap
+  in
+  let lo = Capability.base bob_code and hi = Capability.top bob_code in
+  let rec go n =
+    if n > 100000 then Alcotest.fail "no halt"
+    else
+      match Machine.step m with
+      | Machine.Step_halted -> ()
+      | Machine.Step_double_fault -> Alcotest.fail "double fault"
+      | _ ->
+          let pc = Capability.address m.Machine.pcc in
+          if pc >= lo && pc < hi && !seen = None then
+            seen := Some m.Machine.mie;
+          go (n + 1)
+  in
+  go 0;
+  Alcotest.(check (option bool)) "MIE on inside bob" (Some true) !seen;
+  Alcotest.(check bool) "caller posture (off) restored" false m.Machine.mie
+
+let suite =
+  [
+    Alcotest.test_case "cross-call roundtrip + caller state" `Quick
+      test_cross_call_roundtrip;
+    Alcotest.test_case "callee cannot read caller frame" `Quick
+      test_callee_cannot_read_caller_frame;
+    Alcotest.test_case "stale stack zeroed before delegation" `Quick
+      test_stale_stack_zeroed;
+    Alcotest.test_case "stack capability cannot be captured" `Quick
+      test_stack_cap_cannot_be_captured;
+    Alcotest.test_case "forged export rejected" `Quick
+      test_forged_export_rejected;
+    Alcotest.test_case "compartments lack SR" `Quick
+      test_compartment_pcc_has_no_sr;
+    Alcotest.test_case "nested cross-compartment calls" `Quick
+      test_nested_calls;
+    Alcotest.test_case "per-export interrupt posture" `Quick
+      test_interrupt_posture_of_export;
+  ]

@@ -1,0 +1,192 @@
+(* Tests for the cycle models and the background revoker engine
+   (paper 3.3.3, 4). *)
+
+open Cheriot_core
+open Cheriot_uarch
+module Sram = Cheriot_mem.Sram
+module Revbits = Cheriot_mem.Revbits
+module Bus = Cheriot_mem.Bus
+
+let heap_base = 0x40000
+let heap_size = 0x10000
+
+let make () =
+  let sram = Sram.create ~base:heap_base ~size:heap_size in
+  let rev = Revbits.create ~heap_base ~heap_size () in
+  (sram, rev)
+
+let cap_at addr len =
+  Capability.(
+    set_bounds (with_address root_mem_rw addr) ~length:len ~exact:true)
+
+let store_cap sram addr c =
+  Sram.write_cap sram addr (c.Capability.tag, Capability.to_word c)
+
+let test_sweep_invalidates_stale () =
+  let sram, rev = make () in
+  (* Two caps in memory: one to a freed object, one to a live object. *)
+  let freed = cap_at (heap_base + 0x100) 64 in
+  let live = cap_at (heap_base + 0x200) 64 in
+  store_cap sram (heap_base + 0x1000) freed;
+  store_cap sram (heap_base + 0x1008) live;
+  Revbits.paint rev ~addr:(heap_base + 0x100) ~len:64;
+  let r = Revoker.create ~core:Core_model.Flute ~sram ~rev () in
+  Revoker.kick r ~start:heap_base ~stop:(heap_base + heap_size);
+  Alcotest.(check bool) "epoch odd while sweeping" true
+    (Revoker.epoch r mod 2 = 1);
+  let cycles = Revoker.run_to_completion r in
+  Alcotest.(check bool) "epoch even after" true (Revoker.epoch r mod 2 = 0);
+  Alcotest.(check int) "one cap invalidated" 1 (Revoker.caps_invalidated r);
+  Alcotest.(check bool) "stale tag cleared" false
+    (Sram.tag_at sram (heap_base + 0x1000));
+  Alcotest.(check bool) "live tag kept" true
+    (Sram.tag_at sram (heap_base + 0x1008));
+  (* Pipelined 2-stage engine: ~1 word/cycle over the whole heap. *)
+  let words = heap_size / 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "throughput ~1 word/cycle (%d cycles for %d words)"
+       cycles words)
+    true
+    (cycles < words + 16)
+
+let test_pipelining_ablation () =
+  (* The single-stage engine needs ~2 cycles per word (3.3.3). *)
+  let sram, rev = make () in
+  let r1 = Revoker.create ~pipelined:false ~core:Core_model.Flute ~sram ~rev () in
+  Revoker.kick r1 ~start:heap_base ~stop:(heap_base + heap_size);
+  let slow = Revoker.run_to_completion r1 in
+  let r2 = Revoker.create ~pipelined:true ~core:Core_model.Flute ~sram ~rev () in
+  Revoker.kick r2 ~start:heap_base ~stop:(heap_base + heap_size);
+  let fast = Revoker.run_to_completion r2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "2-stage ~2x faster (%d vs %d)" fast slow)
+    true
+    (float_of_int slow /. float_of_int fast > 1.8)
+
+let test_ibex_bus_slower () =
+  let sram, rev = make () in
+  let rf = Revoker.create ~core:Core_model.Flute ~sram ~rev () in
+  Revoker.kick rf ~start:heap_base ~stop:(heap_base + heap_size);
+  let flute = Revoker.run_to_completion rf in
+  let ri = Revoker.create ~core:Core_model.Ibex ~sram ~rev () in
+  Revoker.kick ri ~start:heap_base ~stop:(heap_base + heap_size);
+  let ibex = Revoker.run_to_completion ri in
+  Alcotest.(check bool)
+    (Printf.sprintf "Ibex 33-bit bus ~2x slower (%d vs %d)" ibex flute)
+    true
+    (float_of_int ibex /. float_of_int flute > 1.8)
+
+let test_race_snoop () =
+  (* Paper 3.3.3's race: revoker loads A, app stores to A, stale word must
+     not be written back.  We interleave ticks with a store to the word
+     the engine has in flight. *)
+  let sram, rev = make () in
+  let freed = cap_at (heap_base + 0x100) 64 in
+  let slot = heap_base + 0x40 in
+  store_cap sram slot freed;
+  Revbits.paint rev ~addr:(heap_base + 0x100) ~len:64;
+  let r = Revoker.create ~core:Core_model.Flute ~sram ~rev () in
+  Revoker.kick r ~start:heap_base ~stop:(heap_base + 0x80);
+  (* Tick until the engine has loaded the slot (9th word: 8 ticks in). *)
+  for _ = 1 to 9 do
+    Revoker.tick r
+  done;
+  (* Main pipeline overwrites the word with fresh integer data. *)
+  Sram.write32 sram slot 0xdeadbeef;
+  Sram.write32 sram (slot + 4) 0x12345678;
+  Revoker.snoop_store r slot;
+  ignore (Revoker.run_to_completion r);
+  (* The fresh data must survive: the engine reloaded and found an
+     untagged word, so wrote nothing back. *)
+  Alcotest.(check int) "fresh low word intact" 0xdeadbeef
+    (Sram.read32 sram slot);
+  Alcotest.(check int) "fresh high word intact" 0x12345678
+    (Sram.read32 sram (slot + 4));
+  Alcotest.(check bool) "at least one reload" true (Revoker.race_reloads r >= 1)
+
+let test_mmio_interface () =
+  let sram, rev = make () in
+  let freed = cap_at (heap_base + 0x100) 64 in
+  store_cap sram (heap_base + 0x800) freed;
+  Revbits.paint rev ~addr:(heap_base + 0x100) ~len:64;
+  let r = Revoker.create ~core:Core_model.Flute ~sram ~rev () in
+  let bus = Bus.create () in
+  Bus.add_sram bus sram;
+  Revoker.attach r bus ~base:0x1000_0000;
+  let reg n = 0x1000_0000 + n in
+  Bus.write bus ~width:4 (reg 0) heap_base;
+  Bus.write bus ~width:4 (reg 4) (heap_base + 0x1000);
+  let epoch0 = Bus.read bus ~width:4 (reg 8) in
+  Bus.write bus ~width:4 (reg 12) 1;
+  Alcotest.(check int) "epoch bumped by kick" (epoch0 + 1)
+    (Bus.read bus ~width:4 (reg 8));
+  (* kick while sweeping: no effect *)
+  Bus.write bus ~width:4 (reg 12) 1;
+  Alcotest.(check int) "double kick ignored" (epoch0 + 1)
+    (Bus.read bus ~width:4 (reg 8));
+  ignore (Revoker.run_to_completion r);
+  Alcotest.(check int) "epoch completed" (epoch0 + 2)
+    (Bus.read bus ~width:4 (reg 8));
+  Alcotest.(check bool) "stale invalidated" false
+    (Sram.tag_at sram (heap_base + 0x800))
+
+let test_bus_snoop_wired () =
+  (* Stores through the Bus must reach the engine's snoop. *)
+  let sram, rev = make () in
+  let bus = Bus.create () in
+  Bus.add_sram bus sram;
+  let r = Revoker.create ~core:Core_model.Flute ~sram ~rev () in
+  Revoker.attach r bus ~base:0x1000_0000;
+  Revoker.kick r ~start:heap_base ~stop:(heap_base + 0x100);
+  Revoker.tick r;
+  Revoker.tick r;
+  (* The engine now has words in flight at heap_base and heap_base+8. *)
+  Bus.write bus ~width:4 heap_base 42;
+  Alcotest.(check bool) "snoop saw the store" true (Revoker.race_reloads r >= 1)
+
+(* --- core model ------------------------------------------------------- *)
+
+let ev insn =
+  {
+    Cheriot_isa.Machine.ev_insn = Some insn;
+    ev_taken_branch = false;
+    ev_mem_bytes = 0;
+    ev_is_cap_mem = false;
+    ev_is_store = false;
+    ev_trap = None;
+  }
+
+let test_core_model_costs () =
+  let flute = Core_model.params_of Flute in
+  let ibex = Core_model.params_of Ibex in
+  let clc = Cheriot_isa.Insn.Clc (10, 2, 0) in
+  let lw =
+    Cheriot_isa.Insn.Load { signed = true; width = W; rd = 10; rs1 = 2; off = 0 }
+  in
+  (* Flute: 64-bit bus, filter free.  Ibex: two beats + visible filter. *)
+  let c_flute_off = Core_model.cycles_of_event flute ~load_filter:false (ev clc) in
+  let c_flute_on = Core_model.cycles_of_event flute ~load_filter:true (ev clc) in
+  Alcotest.(check int) "Flute filter is free" c_flute_off c_flute_on;
+  let c_ibex_off = Core_model.cycles_of_event ibex ~load_filter:false (ev clc) in
+  let c_ibex_on = Core_model.cycles_of_event ibex ~load_filter:true (ev clc) in
+  Alcotest.(check int) "Ibex filter costs one cycle" (c_ibex_off + 1) c_ibex_on;
+  let w_ibex = Core_model.cycles_of_event ibex ~load_filter:true (ev lw) in
+  Alcotest.(check bool) "Ibex cap load dearer than word load" true
+    (c_ibex_on > w_ibex);
+  let w_flute = Core_model.cycles_of_event flute ~load_filter:true (ev lw) in
+  Alcotest.(check int) "Flute cap load same as word load" w_flute c_flute_on
+
+let suite =
+  [
+    Alcotest.test_case "sweep invalidates stale caps" `Quick
+      test_sweep_invalidates_stale;
+    Alcotest.test_case "pipelining ablation (1 vs 2 stage)" `Quick
+      test_pipelining_ablation;
+    Alcotest.test_case "Ibex narrow bus halves sweep rate" `Quick
+      test_ibex_bus_slower;
+    Alcotest.test_case "store race: snoop forces reload" `Quick
+      test_race_snoop;
+    Alcotest.test_case "MMIO start/end/epoch/kick" `Quick test_mmio_interface;
+    Alcotest.test_case "bus store snoop wired" `Quick test_bus_snoop_wired;
+    Alcotest.test_case "core model costs" `Quick test_core_model_costs;
+  ]
