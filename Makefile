@@ -1,0 +1,29 @@
+# Entry points for local use and CI.
+#
+# `make ci` is the gate: build, the full test suite (including the
+# differential oracle between Machine.step and Machine.step_fast), and
+# a reduced-workload run of the decode-cache benchmark, which exits
+# non-zero if the two dispatch paths diverge on any workload.  The
+# smoke bench writes BENCH_decode_cache_smoke.json; it is a divergence
+# gate, not a performance claim — use `make bench` for real numbers.
+
+.PHONY: all build test bench bench-smoke ci clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+bench: build
+	dune exec bench/main.exe -- decode_cache
+
+bench-smoke: build
+	dune exec bench/main.exe -- decode_cache smoke
+
+ci: build test bench-smoke
+
+clean:
+	dune clean

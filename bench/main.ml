@@ -372,6 +372,154 @@ let micro () =
       | Some _ | None -> Format.printf "%-40s (no estimate)@." name)
     (List.sort compare rows)
 
+(* --- decode-cache differential benchmark -------------------------------- *)
+
+module Machine = Cheriot_isa.Machine
+
+(* Runs each workload's instruction stream to completion under both
+   dispatch paths — the always-decode reference interpreter
+   ([Machine.step]) and the decoded-instruction cache
+   ([Machine.step_fast]) — asserts that they retire the same number of
+   instructions and reach bit-identical architectural state, and reports
+   host instructions/sec for each.  Writes BENCH_decode_cache.json. *)
+
+(* Bounded: a divergence bug in the fast path could leave the PC stuck,
+   and the CI gate must fail on that, not hang. *)
+let decode_run step m =
+  let fuel = 50_000_000 in
+  let rec go n =
+    if n > fuel then failwith "decode_cache: workload ran out of fuel"
+    else
+      match step m with
+      | Machine.Step_ok | Machine.Step_trap _ -> go (n + 1)
+      | Machine.Step_halted -> ()
+      | Machine.Step_waiting -> failwith "decode_cache: workload hit WFI"
+      | Machine.Step_double_fault -> failwith "decode_cache: double fault"
+  in
+  go 0
+
+type path_timing = {
+  pt_insns : int;
+  pt_seconds : float;
+  pt_ips : float;
+  pt_hash : string;
+  pt_machine : Machine.t;
+}
+
+(* One timed run on a fresh machine, so the cached path pays its
+   cold-miss cost every time — no warm-cache flattery. *)
+let run_once ~mk ~fast =
+  let step = if fast then Machine.step_fast else Machine.step in
+  let m = mk () in
+  let t0 = Sys.time () in
+  decode_run step m;
+  (Sys.time () -. t0, m)
+
+(* Both paths are timed in an interleaved reference/cached sequence
+   (min of 5 pairs): host timing noise drifts over seconds, and
+   interleaving exposes both paths to the same drift instead of charging
+   it all to whichever path ran last. *)
+let time_paths ~mk =
+  let finish best m =
+    {
+      pt_insns = m.Machine.minstret;
+      pt_seconds = best;
+      pt_ips = float_of_int m.Machine.minstret /. max 1e-9 best;
+      pt_hash = Machine.state_hash m;
+      pt_machine = m;
+    }
+  in
+  let best_r = ref infinity and best_c = ref infinity in
+  let last_r = ref None and last_c = ref None in
+  for _ = 1 to 5 do
+    let dt_r, mr = run_once ~mk ~fast:false in
+    let dt_c, mc = run_once ~mk ~fast:true in
+    if dt_r < !best_r then best_r := dt_r;
+    if dt_c < !best_c then best_c := dt_c;
+    last_r := Some mr;
+    last_c := Some mc
+  done;
+  (finish !best_r (Option.get !last_r), finish !best_c (Option.get !last_c))
+
+let decode_cache ?(smoke = false) () =
+  section
+    (if smoke then "decode cache -- smoke (reduced workloads)"
+     else "decode cache -- reference vs cached dispatch");
+  let workloads =
+    [
+      ( "coremark",
+        fun () ->
+          Coremark.setup
+            ~iterations:(if smoke then 2 else 40)
+            (Core_model.config ~cheri:true ~load_filter:true Core_model.Ibex)
+      );
+      ( "alloc_bench",
+        fun () -> Alloc_bench.isa_setup ~rounds:(if smoke then 5 else 400) ()
+      );
+      ( "iot_app",
+        fun () -> Iot_app.isa_setup ~packets:(if smoke then 10 else 1500) ()
+      );
+    ]
+  in
+  Format.printf "%-12s %12s %14s %14s %9s %7s@." "workload" "insns"
+    "ref insns/s" "cached insns/s" "speedup" "match";
+  let diverged = ref false in
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let r, c = time_paths ~mk in
+        let ok = r.pt_insns = c.pt_insns && r.pt_hash = c.pt_hash in
+        if not ok then begin
+          diverged := true;
+          Format.eprintf
+            "DIVERGENCE on %s: ref %d insns (hash %s), cached %d insns (hash \
+             %s)@."
+            name r.pt_insns r.pt_hash c.pt_insns c.pt_hash
+        end;
+        let speedup = c.pt_ips /. r.pt_ips in
+        Format.printf "%-12s %12d %14.0f %14.0f %8.2fx %7s@." name r.pt_insns
+          r.pt_ips c.pt_ips speedup
+          (if ok then "yes" else "NO");
+        (name, r, c, speedup, ok))
+      workloads
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"bench\": \"decode_cache\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"workloads\": [\n" smoke);
+  List.iteri
+    (fun i (name, r, c, speedup, ok) ->
+      let st = Machine.decode_stats c.pt_machine in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S,\n\
+           \     \"reference\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f},\n\
+           \     \"cached\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f,\n\
+           \                \"decode_hits\": %d, \"decode_misses\": %d, \
+            \"decode_invalidations\": %d},\n\
+           \     \"speedup\": %.3f, \"state_match\": %b}%s\n"
+           name r.pt_insns r.pt_seconds r.pt_ips c.pt_insns c.pt_seconds
+           c.pt_ips st.Cheriot_isa.Decode_cache.hits st.misses st.invalidations
+           speedup ok
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  (* The smoke run is a CI divergence gate, not a performance claim: keep
+     it from clobbering the full-size numbers. *)
+  let file =
+    if smoke then "BENCH_decode_cache_smoke.json" else "BENCH_decode_cache.json"
+  in
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." file;
+  if !diverged then begin
+    prerr_endline "decode_cache: dispatch paths diverged";
+    exit 1
+  end
+
 (* --- driver -------------------------------------------------------------- *)
 
 let all () =
@@ -383,6 +531,7 @@ let all () =
   fig56 Core_model.Ibex "6" ibex;
   iot ();
   ablations ();
+  decode_cache ();
   micro ()
 
 let () =
@@ -396,9 +545,12 @@ let () =
   | [| _; "fig6" |] -> fig56 Core_model.Ibex "6" (run_alloc_table Core_model.Ibex)
   | [| _; "iot" |] -> iot ()
   | [| _; "ablations" |] -> ablations ()
+  | [| _; "decode_cache" |] -> decode_cache ()
+  | [| _; "decode_cache"; "smoke" |] -> decode_cache ~smoke:true ()
   | [| _; "micro" |] -> micro ()
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [table1|table2|table3|table4|fig5|fig6|iot|ablations|micro]";
+         [table1|table2|table3|table4|fig5|fig6|iot|ablations|decode_cache \
+         [smoke]|micro]";
       exit 2

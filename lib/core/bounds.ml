@@ -23,12 +23,53 @@ let decode { e_field; b_field; t_field } ~addr =
   let top = (((a_top + ct) lsl 9) lor t_field) lsl e in
   (base land mask32, top land mask33)
 
-let in_bounds bounds ~addr ~access ~size =
-  let base, top = decode bounds ~addr in
-  access >= base && access + size <= top
+(* Single-ended [decode] without the result pair, for callers that need
+   only one end of the region (capability base/top accessors). *)
+let base_of { e_field; b_field; t_field = _ } ~addr =
+  let e = decode_exp e_field in
+  let a_top = addr lsr (e + 9) in
+  let a_mid = (addr lsr e) land 0x1ff in
+  let cb = if a_mid < b_field then -1 else 0 in
+  (((a_top + cb) lsl 9) lor b_field) lsl e land mask32
 
-let representable bounds ~cur ~addr =
-  addr land mask32 = addr && decode bounds ~addr:cur = decode bounds ~addr
+let top_of { e_field; b_field; t_field } ~addr =
+  let e = decode_exp e_field in
+  let a_top = addr lsr (e + 9) in
+  let a_mid = (addr lsr e) land 0x1ff in
+  let cb = if a_mid < b_field then -1 else 0 in
+  let ct = if t_field < b_field then cb + 1 else cb in
+  (((a_top + ct) lsl 9) lor t_field) lsl e land mask33
+
+(* [decode] inlined without the tuple: these two run on every fetch,
+   memory access and PC increment, so they must not allocate. *)
+let in_bounds { e_field; b_field; t_field } ~addr ~access ~size =
+  let e = decode_exp e_field in
+  let a_top = addr lsr (e + 9) in
+  let a_mid = (addr lsr e) land 0x1ff in
+  let cb = if a_mid < b_field then -1 else 0 in
+  let ct = if t_field < b_field then cb + 1 else cb in
+  let base = (((a_top + cb) lsl 9) lor b_field) lsl e land mask32 in
+  access >= base
+  &&
+  let top = (((a_top + ct) lsl 9) lor t_field) lsl e land mask33 in
+  access + size <= top
+
+let representable { e_field; b_field; t_field } ~cur ~addr =
+  addr land mask32 = addr
+  &&
+  let e = decode_exp e_field in
+  let at1 = cur lsr (e + 9) and at2 = addr lsr (e + 9) in
+  let cb1 = if (cur lsr e) land 0x1ff < b_field then -1 else 0 in
+  let cb2 = if (addr lsr e) land 0x1ff < b_field then -1 else 0 in
+  (* Same 2^(9+e) region and same borrow: decodes are equal without
+     computing them — the common case for a PC or pointer increment. *)
+  (at1 = at2 && cb1 = cb2)
+  ||
+  let d = if t_field < b_field then 1 else 0 in
+  (((at1 + cb1) lsl 9) lor b_field) lsl e land mask32
+  = (((at2 + cb2) lsl 9) lor b_field) lsl e land mask32
+  && (((at1 + cb1 + d) lsl 9) lor t_field) lsl e land mask33
+     = (((at2 + cb2 + d) lsl 9) lor t_field) lsl e land mask33
 
 (* Exponents 15..23 are not encodable (E = 0xf means 24), so the search
    jumps straight from 14 to 24. *)

@@ -46,6 +46,12 @@ val decode : t -> addr:int -> int * int
     [addr].  [base] is a 32-bit value, [top] a 33-bit value (may be
     2{^ 32}).  Both are returned as OCaml [int]s. *)
 
+val base_of : t -> addr:int -> int
+(** [fst (decode t ~addr)] without building the pair. *)
+
+val top_of : t -> addr:int -> int
+(** [snd (decode t ~addr)] without building the pair. *)
+
 val in_bounds : t -> addr:int -> access:int -> size:int -> bool
 (** [in_bounds b ~addr ~access ~size]: does [[access, access+size)] fall
     within the bounds decoded at [addr]? *)

@@ -51,8 +51,8 @@ let root_sealing =
 
 let roots = [ root_mem_rw; root_executable; root_sealing ]
 let address c = c.addr
-let base c = fst (Bounds.decode c.bounds ~addr:c.addr)
-let top c = snd (Bounds.decode c.bounds ~addr:c.addr)
+let base c = Bounds.base_of c.bounds ~addr:c.addr
+let top c = Bounds.top_of c.bounds ~addr:c.addr
 let length c = max 0 (top c - base c)
 let perms c = c.perms
 let has_perm c p = Perm.Set.mem p c.perms

@@ -185,3 +185,24 @@ let encode_exn s =
   match encode (legalize s) with
   | Some bits -> bits
   | None -> assert false
+
+(* [encode]/[encode_exn] run on every capability store ([to_word] in the
+   emulator's CSC path), and the format search above is a list walk with
+   set algebra per candidate.  A set is 12 bits, so memoize both as
+   4096-entry tables; results are identical by construction. *)
+let encode_slow = encode
+let encode_exn_slow = encode_exn
+
+let encode_table =
+  Array.init 4096 (fun s -> match encode_slow s with Some b -> b | None -> -1)
+
+let encode_exn_table =
+  Array.init 4096 (fun s -> try encode_exn_slow s with Assert_failure _ -> -1)
+
+let encode s =
+  let b = encode_table.(s land 0xfff) in
+  if b < 0 then None else Some b
+
+let encode_exn s =
+  let b = encode_exn_table.(s land 0xfff) in
+  if b >= 0 then b else encode_exn_slow s

@@ -1,0 +1,90 @@
+type stats = { hits : int; misses : int; invalidations : int; flushes : int }
+
+type 'a t = {
+  tags : int array;  (* full PC of the cached word; -1 = empty *)
+  payloads : 'a array;
+  mask : int;
+  dummy : 'a;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable flushes : int;
+}
+
+let create ?(size_log2 = 11) ~dummy () =
+  if size_log2 < 1 || size_log2 > 24 then
+    invalid_arg "Decode_cache.create: size_log2 out of range";
+  let n = 1 lsl size_log2 in
+  {
+    tags = Array.make n (-1);
+    payloads = Array.make n dummy;
+    mask = n - 1;
+    dummy;
+    hits = 0;
+    misses = 0;
+    invalidations = 0;
+    flushes = 0;
+  }
+
+let entries t = Array.length t.tags
+
+(* Instructions are word-aligned, so the low two PC bits carry no
+   information: index by pc >> 2 for conflict-free coverage of contiguous
+   code. *)
+let slot t pc = (pc lsr 2) land t.mask
+
+(* [slot] is masked, so every index below is in range by construction and
+   the bounds checks are elided — this is the per-instruction hot path. *)
+let probe t ~slot ~pc =
+  if Array.unsafe_get t.tags slot = pc then begin
+    t.hits <- t.hits + 1;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    false
+  end
+
+let payload t slot = Array.unsafe_get t.payloads slot
+
+let fill t ~slot ~pc v =
+  Array.unsafe_set t.tags slot pc;
+  Array.unsafe_set t.payloads slot v
+
+let lookup t pc =
+  let s = slot t pc in
+  if probe t ~slot:s ~pc then Some t.payloads.(s) else None
+
+let kill t pc =
+  let s = slot t pc in
+  if t.tags.(s) = pc then begin
+    t.tags.(s) <- -1;
+    t.payloads.(s) <- t.dummy;
+    t.invalidations <- t.invalidations + 1
+  end
+
+(* The bus snoop reports 8-byte-granule-aligned store addresses; a
+   granule holds two instruction words. *)
+let invalidate_granule t addr =
+  let g = addr land lnot 7 in
+  kill t g;
+  kill t (g + 4)
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.payloads 0 (Array.length t.payloads) t.dummy;
+  t.flushes <- t.flushes + 1
+
+let stats t : stats =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    invalidations = t.invalidations;
+    flushes = t.flushes;
+  }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.invalidations <- 0;
+  t.flushes <- 0

@@ -1,0 +1,88 @@
+(** Decoded-instruction cache for the emulator's fetch/decode hot path.
+
+    Every workload funnels through [Machine.step], which re-reads and
+    re-decodes the 32-bit instruction word at the PC on every retired
+    instruction.  This module memoizes that work: a direct-mapped cache
+    keyed by the {e physical} PC, mapping each instruction address to an
+    arbitrary pre-decoded payload (the machine stores the decoded
+    [Insn.t]; nothing here depends on the payload type).
+
+    Correctness protocol (kept honest by [test/test_differential.ml]):
+
+    - Entries are keyed by the full PC, so a hit can only ever return the
+      payload decoded for exactly that address.
+    - Stores must {e snoop}: the machine registers
+      {!invalidate_granule} on the bus's store-snoop hook, so any store —
+      integer or capability, from the CPU or a loader writing through the
+      bus — kills the (at most two) cached words in the written 8-byte
+      granule before the next fetch can hit on them.  Self-modifying code
+      therefore re-decodes.
+    - Writers that bypass the bus (e.g. [Asm.load] blitting straight into
+      SRAM) must call {!flush}; [Machine.flush_decode_cache] exposes it.
+
+    The cache is purely a performance structure: it never changes
+    architectural behaviour, only skips the bus read and decode. *)
+
+type 'a t = {
+  tags : int array;  (** full PC of the cached word per slot; -1 = empty *)
+  payloads : 'a array;
+  mask : int;
+  dummy : 'a;
+  mutable hits : int;
+  mutable misses : int;
+  mutable invalidations : int;
+  mutable flushes : int;
+}
+(** The representation is exposed so [Machine]'s per-instruction fetch
+    can probe without function-call overhead; use the accessors below
+    everywhere else.  Invariant: [Array.length tags = mask + 1] and
+    every index produced by [slot] is in range. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;  (** entries killed by store snoops *)
+  flushes : int;  (** whole-cache flushes *)
+}
+
+val create : ?size_log2:int -> dummy:'a -> unit -> 'a t
+(** [create ~dummy ()] is an empty cache with [2^size_log2] entries
+    (default 11, i.e. 2048 words / 8 KiB of code coverage).  [dummy] is
+    stored in empty payload slots and never returned by a hit. *)
+
+val entries : 'a t -> int
+
+(** {1 Hot-path access}
+
+    The lookup is split so the caller holds the slot index across
+    probe/fill without recomputing it. *)
+
+val slot : 'a t -> int -> int
+(** [slot t pc]: the direct-mapped index of an instruction address. *)
+
+val probe : 'a t -> slot:int -> pc:int -> bool
+(** Does the slot hold the decode of [pc]?  Counts a hit or a miss. *)
+
+val payload : 'a t -> int -> 'a
+(** The payload at a slot; meaningful only after a successful probe. *)
+
+val fill : 'a t -> slot:int -> pc:int -> 'a -> unit
+(** Install the decode of [pc], evicting whatever the slot held. *)
+
+val lookup : 'a t -> int -> 'a option
+(** [probe] + [payload] in one call (convenience for tests). *)
+
+(** {1 Invalidation} *)
+
+val invalidate_granule : 'a t -> int -> unit
+(** [invalidate_granule t addr] kills any entry for the two instruction
+    words in the 8-byte granule containing [addr] — the signature of the
+    bus store snoop (which reports granule-aligned addresses). *)
+
+val flush : 'a t -> unit
+(** Drop every entry (loader rewrote code behind the bus's back). *)
+
+(** {1 Accounting} *)
+
+val stats : 'a t -> stats
+val reset_stats : 'a t -> unit

@@ -80,12 +80,14 @@ let mcause_of = function
   | Interrupt_external -> 0x8000_0000 lor 11
 
 type event = {
-  ev_insn : Insn.t option;
-  ev_taken_branch : bool;
-  ev_mem_bytes : int;
-  ev_is_cap_mem : bool;
-  ev_is_store : bool;
-  ev_trap : cause option;
+  (* mutable so the per-step hot path can update one record in place
+     instead of allocating a fresh one every instruction *)
+  mutable ev_insn : Insn.t option;
+  mutable ev_taken_branch : bool;
+  mutable ev_mem_bytes : int;
+  mutable ev_is_cap_mem : bool;
+  mutable ev_is_store : bool;
+  mutable ev_trap : cause option;
 }
 
 let no_event =
@@ -128,11 +130,46 @@ type t = {
   mutable ext_interrupt : bool;
   mutable waiting : bool;
   mutable last_event : event;
+  dcache : centry Decode_cache.t;
+}
+
+(* A decode-cache entry carries a fetch "ticket": the machine mode and
+   the exact PCC under which the fetch-side checks passed at fill time.
+   The checks are a pure function of (mode, PCC, pc), so a hit whose
+   current PCC equals the ticket can skip them wholesale — same result,
+   no bounds decode. *)
+and centry = {
+  c_insn : Insn.t;
+  c_opt : Insn.t option;  (* [Some c_insn], built once at fill so the
+                             per-step event update allocates nothing *)
+  c_mode : mode;
+  c_pcc : Capability.t;
+  c_next : Capability.t option;
+      (* [Some] of the step-advanced PCC ([next_pcc] at fill time).  The
+         PC advance is a pure function of the ticket fields, so a hit
+         whose PCC matches the ticket can install this record directly:
+         no representability check, no allocation.  [None] only in the
+         dummy. *)
 }
 
 exception Trap of cause
 
 let create ?(mode = Cheriot) ?(load_filter = true) bus =
+  let dcache =
+    Decode_cache.create
+      ~dummy:
+        {
+          c_insn = Insn.Ebreak;
+          c_opt = Some Insn.Ebreak;
+          c_mode = mode;
+          c_pcc = Capability.null;
+          c_next = None;
+        }
+      ()
+  in
+  (* Stores must kill stale decodes: self-modifying code and loader
+     patches through the bus re-decode on the next fetch. *)
+  Bus.on_store bus (Decode_cache.invalidate_granule dcache);
   {
     regs = Array.make 16 Capability.null;
     pcc = Capability.root_executable;
@@ -155,18 +192,24 @@ let create ?(mode = Cheriot) ?(load_filter = true) bus =
     mscratchc = Capability.null;
     ext_interrupt = false;
     waiting = false;
-    last_event = no_event;
+    last_event = { no_event with ev_insn = None };
+    dcache;
   }
 
-let reg m r = if r land 15 = 0 then Capability.null else m.regs.(r land 15)
+(* regs.(0) is initialised to null and [set_reg] never writes it, so the
+   zero register needs no special-casing on the read side.  The masked
+   index is always in [0, 15], so the bounds check is elided. *)
+let reg m r = Array.unsafe_get m.regs (r land 15)
 
-let set_reg m r c = if r land 15 <> 0 then m.regs.(r land 15) <- c
+let set_reg m r c =
+  let r = r land 15 in
+  if r <> 0 then Array.unsafe_set m.regs r c
 
-let reg_int m r = Capability.address (reg m r)
+let reg_int m r = (Array.unsafe_get m.regs (r land 15)).Capability.addr
 
 let mask32 = 0xFFFF_FFFF
-let int_cap v = Capability.{ null with addr = v land mask32 }
-let set_reg_int m r v = set_reg m r (int_cap v)
+let[@inline always] int_cap v = Capability.{ null with addr = v land mask32 }
+let[@inline always] set_reg_int m r v = set_reg m r (int_cap v)
 
 let timer_pending m = m.mtimecmp <> 0 && m.mcycle >= m.mtimecmp
 let interrupt_pending m = timer_pending m || m.ext_interrupt
@@ -175,22 +218,25 @@ let to_signed v = (v lxor 0x8000_0000) - 0x8000_0000
 
 (* --- memory access checks ------------------------------------------- *)
 
+(* Top-level (not a local closure capturing [ridx]) so the check below
+   allocates nothing on the no-trap path. *)
+let access_fail c ridx = raise (Trap (Cheri_fault (c, ridx)))
+
 let check_access m ~cap ~ridx ~addr ~size ~store ~is_cap =
   ignore m;
-  let fail c = raise (Trap (Cheri_fault (c, ridx))) in
-  if not cap.Capability.tag then fail Cheri_tag;
-  if Capability.is_sealed cap then fail Cheri_seal;
+  if not cap.Capability.tag then access_fail Cheri_tag ridx;
+  if Capability.is_sealed cap then access_fail Cheri_seal ridx;
   if store then begin
-    if not (Capability.has_perm cap SD) then fail Cheri_permit_store;
+    if not (Capability.has_perm cap SD) then access_fail Cheri_permit_store ridx;
     if is_cap && not (Capability.has_perm cap MC) then
-      fail Cheri_permit_store_cap
+      access_fail Cheri_permit_store_cap ridx
   end
   else begin
-    if not (Capability.has_perm cap LD) then fail Cheri_permit_load;
+    if not (Capability.has_perm cap LD) then access_fail Cheri_permit_load ridx;
     if is_cap && not (Capability.has_perm cap MC) then
-      fail Cheri_permit_load_cap
+      access_fail Cheri_permit_load_cap ridx
   end;
-  if not (Capability.in_bounds cap ~size addr) then fail Cheri_bounds;
+  if not (Capability.in_bounds cap ~size addr) then access_fail Cheri_bounds ridx;
   if addr land (size - 1) <> 0 then
     raise (Trap (if store then Store_misaligned else Load_misaligned));
   if addr < 0 || addr > mask32 then
@@ -201,16 +247,16 @@ let check_access m ~cap ~ridx ~addr ~size ~store ~is_cap =
 let note_store m addr =
   if addr >= m.mshwmb && addr < m.mshwm then m.mshwm <- addr land lnot 7
 
-let mem_authority m ridx off =
-  match m.mode with
-  | Cheriot ->
-      let cap = reg m ridx in
-      (cap, (Capability.address cap + off) land mask32)
-  | Rv32 -> (m.ddc, (reg_int m ridx + off) land mask32)
+(* The effective address always comes from [rs1]'s address field; only
+   the authorizing capability differs by mode (the register itself, or
+   the implicit DDC).  Computed field-by-field at each call site so no
+   intermediate pair is built on the per-access hot path. *)
 
 let do_load m ~ridx ~rs1 ~off ~width ~signed ~rd =
   let size = match width with Insn.B -> 1 | H -> 2 | W -> 4 in
-  let cap, addr = mem_authority m rs1 off in
+  let r = reg m rs1 in
+  let addr = (r.Capability.addr + off) land mask32 in
+  let cap = match m.mode with Cheriot -> r | Rv32 -> m.ddc in
   check_access m ~cap ~ridx ~addr ~size ~store:false ~is_cap:false;
   let v =
     try Bus.read m.bus ~width:size addr
@@ -229,7 +275,9 @@ let do_load m ~ridx ~rs1 ~off ~width ~signed ~rd =
 
 let do_store m ~ridx ~rs1 ~off ~width ~rs2 =
   let size = match width with Insn.B -> 1 | H -> 2 | W -> 4 in
-  let cap, addr = mem_authority m rs1 off in
+  let r = reg m rs1 in
+  let addr = (r.Capability.addr + off) land mask32 in
+  let cap = match m.mode with Cheriot -> r | Rv32 -> m.ddc in
   check_access m ~cap ~ridx ~addr ~size ~store:true ~is_cap:false;
   (try Bus.write m.bus ~width:size addr (reg_int m rs2)
    with Bus.Bus_error _ -> raise (Trap Store_access_fault));
@@ -367,7 +415,12 @@ let do_jal m rd off =
       if not (Capability.in_bounds m.pcc ~size:4 target) then
         raise (Trap (Cheri_fault (Cheri_bounds, 16)));
       set_reg m rd (link_cap m (pc + 4));
-      m.pcc <- Capability.with_address m.pcc target
+      (* In-bounds addresses are always representable (the concentrate
+         encoding's defining invariant, checked exhaustively by
+         test_bounds), and the PCC is tagged and unsealed here — so
+         [with_address] would always succeed; skip its redundant bounds
+         decode. *)
+      m.pcc <- { m.pcc with Capability.addr = target }
 
 let do_jalr m rd rs1 off =
   let pc = Capability.address m.pcc in
@@ -400,9 +453,12 @@ let do_jalr m rd rs1 off =
       let target = (Capability.address cap + off) land mask32 land lnot 1 in
       if not (Capability.in_bounds cap ~size:4 target) then
         raise (Trap (Cheri_fault (Cheri_bounds, rs1)));
-      m.pcc <- Capability.with_address cap target
+      (* [cap] is tagged, unsealed and in bounds at [target] here, so
+         [with_address] would always succeed (in-bounds implies
+         representable); skip its redundant bounds decode. *)
+      m.pcc <- { cap with Capability.addr = target }
 
-let alu_exec op a b =
+let[@inline always] alu_exec op a b =
   let open Insn in
   match op with
   | Add -> (a + b) land mask32
@@ -435,7 +491,7 @@ let muldiv_exec op a b =
       else Stdlib.( mod ) sa sb land mask32
   | Remu -> if b = 0 then a else a mod b
 
-let branch_taken cond a b =
+let[@inline always] branch_taken cond a b =
   let open Insn in
   match cond with
   | Eq -> a = b
@@ -547,8 +603,7 @@ let enter_trap m cause =
 
 (* --- fetch/execute ---------------------------------------------------- *)
 
-let fetch m =
-  let pc = Capability.address m.pcc in
+let fetch_check m pc =
   if m.mode = Cheriot then begin
     if not m.pcc.Capability.tag then
       raise (Trap (Cheri_fault (Cheri_tag, 16)));
@@ -559,11 +614,262 @@ let fetch m =
     if not (Capability.in_bounds m.pcc ~size:4 pc) then
       raise (Trap (Cheri_fault (Cheri_bounds, 16)))
   end;
-  if pc land 3 <> 0 then raise (Trap Illegal_instruction);
+  if pc land 3 <> 0 then raise (Trap Illegal_instruction)
+
+let fetch_word m pc =
   try Bus.read m.bus ~width:4 pc
   with Bus.Bus_error _ -> raise (Trap Load_access_fault)
 
-let step m =
+let fetch m =
+  let pc = Capability.address m.pcc in
+  fetch_check m pc;
+  fetch_word m pc
+
+(* The reference fetch: re-read and re-decode the word at the PC on
+   every step.  [step] uses this path unchanged; it is the observational
+   oracle the decoded-instruction cache is differentially tested
+   against. *)
+let fetch_decode m =
+  match Encode.decode (fetch m) with
+  | None -> raise (Trap Illegal_instruction)
+  | Some insn -> insn
+
+(* The cached fetch: identical PCC/alignment checks (traps must be
+   bit-for-bit the same), but on a hit the bus read and decode are
+   skipped.  Illegal words are never cached — they trap on the slow path
+   every time, which keeps the cache total. *)
+(* Is the fill-time ticket still good?  In Rv32 mode the only fetch-side
+   check is word alignment, which the full-PC tag match already pins (a
+   fill only ever happens after the checks passed).  In CHERIoT mode the
+   checks also read the PCC, so the ticket must carry an identical one
+   and must itself have been issued under CHERIoT checks. *)
+let[@inline always] ticket_valid m e =
+  match m.mode with
+  | Rv32 -> true
+  | Cheriot ->
+      e.c_mode = Cheriot
+      &&
+      let tp = e.c_pcc and cp = m.pcc in
+      tp == cp
+      || (* [with_address] (the per-step PC advance) copies the record
+            but shares the bounds block and keeps the immediate fields,
+            so along straight-line execution every compare below is a
+            word compare.  A re-derived but identical PCC (e.g. after a
+            return) fails the physical bounds compare and merely falls
+            back to the full fetch checks — conservative, never wrong.
+
+            Only the fields that [fetch_check] and [next_pcc] read are
+            compared.  The ticket passed the checks when issued, so: its
+            tag is set (the current one is tested directly), equal
+            otypes pin "unsealed", equal perms pin EX, and the address
+            needs no compare at all — the cache's full-PC tag match
+            already proved the current PCC address equals the fill-time
+            one.  [reserved] is compared because the prebuilt [c_next]
+            carries it verbatim. *)
+      (tp.Capability.bounds == cp.Capability.bounds
+      && cp.Capability.tag
+      && tp.Capability.perms == cp.Capability.perms
+      && tp.Capability.otype == cp.Capability.otype
+      && tp.Capability.reserved = cp.Capability.reserved)
+
+(* The step-advanced PCC.  A pure function of the current PCC and mode:
+   [Capability.with_address p (pc + 4)] inlined for the CHERIoT case
+   (the tag/seal tests almost always succeed right after a fetch and the
+   fast-pathed representability check dominates); a plain program
+   counter in Rv32 mode. *)
+let next_pcc m =
+  let p = m.pcc in
+  let addr = (p.Capability.addr + 4) land mask32 in
+  match m.mode with
+  | Cheriot ->
+      let ok =
+        p.Capability.tag
+        && p.Capability.otype == Otype.unsealed
+        && Bounds.representable p.Capability.bounds ~cur:p.Capability.addr
+             ~addr
+      in
+      { p with Capability.addr; tag = ok }
+  | Rv32 -> { p with Capability.addr }
+
+let next m = m.pcc <- next_pcc m
+
+(* Fall-through PC advance.  The cached dispatch passes the fill-time
+   [c_next] when the ticket validated — [next_pcc] depends only on the
+   ticket-compared fields, so installing the prebuilt record is
+   observationally identical to recomputing it (and costs one store). *)
+let advance m nextc =
+  match nextc with Some c -> m.pcc <- c | None -> next m
+
+(* The plain-arm epilogue ([advance] + flagless [finish]) as one call —
+   most instructions end exactly this way. *)
+let advance_finish m nextc opt =
+  (match nextc with Some c -> m.pcc <- c | None -> next m);
+  m.minstret <- m.minstret + 1;
+  let ev = m.last_event in
+  ev.ev_insn <- opt;
+  ev.ev_taken_branch <- false;
+  ev.ev_mem_bytes <- 0;
+  ev.ev_is_cap_mem <- false;
+  ev.ev_is_store <- false;
+  ev.ev_trap <- None;
+  Step_ok
+
+let fetch_cached_slow m dc s pc =
+  fetch_check m pc;
+  match Encode.decode (fetch_word m pc) with
+  | None -> raise (Trap Illegal_instruction)
+  | Some insn ->
+      let e =
+        {
+          c_insn = insn;
+          c_opt = Some insn;
+          c_mode = m.mode;
+          c_pcc = m.pcc;
+          c_next = Some (next_pcc m);
+        }
+      in
+      Decode_cache.fill dc ~slot:s ~pc e;
+      e
+
+(* The probe is hand-inlined (the representation is exposed for exactly
+   this callsite): one masked index, one tag compare, one ticket check
+   on a hit. *)
+let fetch_cached m =
+  let pc = Capability.address m.pcc in
+  let dc = m.dcache in
+  let s = (pc lsr 2) land dc.Decode_cache.mask in
+  if Array.unsafe_get dc.Decode_cache.tags s = pc then begin
+    dc.Decode_cache.hits <- dc.Decode_cache.hits + 1;
+    let e = Array.unsafe_get dc.Decode_cache.payloads s in
+    if ticket_valid m e then e
+    else begin
+      (* PCC metadata changed since fill (e.g. entry through a different
+         executable capability): re-run the checks, reissue the ticket. *)
+      fetch_check m pc;
+      let e =
+        { e with c_mode = m.mode; c_pcc = m.pcc; c_next = Some (next_pcc m) }
+      in
+      Decode_cache.fill dc ~slot:s ~pc e;
+      e
+    end
+  end
+  else begin
+    dc.Decode_cache.misses <- dc.Decode_cache.misses + 1;
+    fetch_cached_slow m dc s pc
+  end
+
+let finish m ?(taken = false) ?(mem = 0) ?(cap_mem = false) ?(store = false)
+    opt =
+  m.minstret <- m.minstret + 1;
+  let ev = m.last_event in
+  ev.ev_insn <- opt;
+  ev.ev_taken_branch <- taken;
+  ev.ev_mem_bytes <- mem;
+  ev.ev_is_cap_mem <- cap_mem;
+  ev.ev_is_store <- store;
+  ev.ev_trap <- None;
+  Step_ok
+
+
+(* One instruction's semantics, shared verbatim by both dispatch paths:
+   the reference interpreter and the cached fast path differ only in how
+   [insn] was obtained. *)
+let exec m insn opt nextc =
+  match insn with
+  | Insn.Lui (rd, imm20) ->
+      set_reg_int m rd (imm20 lsl 12);
+      advance_finish m nextc opt
+  | Auipcc (rd, imm20) ->
+      let v = (Capability.address m.pcc + (imm20 lsl 12)) land mask32 in
+      (match m.mode with
+      | Cheriot -> set_reg m rd (Capability.with_address m.pcc v)
+      | Rv32 -> set_reg_int m rd v);
+      advance_finish m nextc opt
+  | Jal (rd, off) ->
+      do_jal m rd off;
+      finish m ~taken:true opt
+  | Jalr (rd, rs1, off) ->
+      do_jalr m rd rs1 off;
+      finish m ~taken:true opt
+  | Branch (cond, rs1, rs2, off) ->
+      let taken = branch_taken cond (reg_int m rs1) (reg_int m rs2) in
+      if taken then begin
+        let pc = Capability.address m.pcc in
+        let target = (pc + off) land mask32 in
+        if m.mode = Cheriot && not (Capability.in_bounds m.pcc ~size:4 target)
+        then raise (Trap (Cheri_fault (Cheri_bounds, 16)));
+        (* Bounds just checked (Cheriot) or irrelevant (Rv32): in-bounds
+           implies representable, so the plain record update matches
+           [with_address] exactly. *)
+        m.pcc <- { m.pcc with Capability.addr = target }
+      end
+      else advance m nextc;
+      finish m ~taken opt
+  | Load { signed; width; rd; rs1; off } ->
+      let bytes = do_load m ~ridx:rs1 ~rs1 ~off ~width ~signed ~rd in
+      advance m nextc;
+      finish m ~mem:bytes opt
+  | Store { width; rs2; rs1; off } ->
+      let bytes = do_store m ~ridx:rs1 ~rs1 ~off ~width ~rs2 in
+      advance m nextc;
+      finish m ~mem:bytes ~store:true opt
+  | Clc (rd, rs1, off) ->
+      do_clc m ~rd ~rs1 ~off;
+      advance m nextc;
+      finish m ~mem:8 ~cap_mem:true opt
+  | Csc (rs2, rs1, off) ->
+      do_csc m ~rs2 ~rs1 ~off;
+      advance m nextc;
+      finish m ~mem:8 ~cap_mem:true ~store:true opt
+  | Op_imm (op, rd, rs1, imm) ->
+      set_reg_int m rd (alu_exec op (reg_int m rs1) (imm land mask32));
+      advance_finish m nextc opt
+  | Op (op, rd, rs1, rs2) ->
+      set_reg_int m rd (alu_exec op (reg_int m rs1) (reg_int m rs2));
+      advance_finish m nextc opt
+  | Mul_div (op, rd, rs1, rs2) ->
+      set_reg_int m rd (muldiv_exec op (reg_int m rs1) (reg_int m rs2));
+      advance_finish m nextc opt
+  | Ecall -> raise (Trap Ecall_m)
+  | Ebreak ->
+      m.last_event <- { no_event with ev_insn = opt };
+      Step_halted
+  | Mret ->
+      require_sr m;
+      let target = m.mepcc in
+      let target =
+        match Capability.sentry_kind target with
+        | Some kind ->
+            apply_sentry_posture m kind;
+            Capability.{ target with otype = Otype.unsealed }
+        | None ->
+            m.mie <- m.mpie;
+            target
+      in
+      m.mpie <- true;
+      m.pcc <- target;
+      finish m ~taken:true opt
+  | Wfi ->
+      if not (interrupt_pending m) then m.waiting <- true;
+      advance m nextc;
+      if m.waiting then begin
+        m.minstret <- m.minstret + 1;
+        m.last_event <- { no_event with ev_insn = opt };
+        Step_waiting
+      end
+      else finish m opt
+  | Csr (op, rd, rs1, n) ->
+      do_csr m op rd rs1 n;
+      advance_finish m nextc opt
+  | Cincaddr _ | Cincaddrimm _ | Csetaddr _ | Csetbounds _
+  | Csetboundsexact _ | Csetboundsimm _ | Crrl _ | Cram _
+  | Candperm _ | Ccleartag _ | Cmove _ | Cseal _ | Cunseal _
+  | Cget _ | Csub _ | Ctestsubset _ | Csetequalexact _
+  | Cspecialrw _ ->
+      exec_cap m insn;
+      advance_finish m nextc opt
+
+let step_gen m ~cached =
   if m.waiting then
     if interrupt_pending m then m.waiting <- false else ()
   else ();
@@ -575,140 +881,26 @@ let step m =
     m.last_event <- { no_event with ev_trap = Some cause };
     enter_trap m cause
   end
-  else begin
-    let finish ?(taken = false) ?(mem = 0) ?(cap_mem = false) ?(store = false)
-        insn =
-      m.minstret <- m.minstret + 1;
-      m.last_event <-
-        {
-          ev_insn = Some insn;
-          ev_taken_branch = taken;
-          ev_mem_bytes = mem;
-          ev_is_cap_mem = cap_mem;
-          ev_is_store = store;
-          ev_trap = None;
-        };
-      Step_ok
-    in
-    let advance () = m.pcc <- Capability.with_address m.pcc ((Capability.address m.pcc + 4) land mask32) in
-    let advance_rv32 () =
-      (* In Rv32 mode the PCC is a plain program counter. *)
-      m.pcc <- Capability.{ m.pcc with addr = (m.pcc.addr + 4) land mask32; tag = m.pcc.tag }
-    in
-    let next () = if m.mode = Cheriot then advance () else advance_rv32 () in
+  else
     try
-      let word = fetch m in
-      match Encode.decode word with
-      | None -> raise (Trap Illegal_instruction)
-      | Some insn -> (
-          match insn with
-          | Lui (rd, imm20) ->
-              set_reg_int m rd (imm20 lsl 12);
-              next ();
-              finish insn
-          | Auipcc (rd, imm20) ->
-              let v = (Capability.address m.pcc + (imm20 lsl 12)) land mask32 in
-              (match m.mode with
-              | Cheriot -> set_reg m rd (Capability.with_address m.pcc v)
-              | Rv32 -> set_reg_int m rd v);
-              next ();
-              finish insn
-          | Jal (rd, off) ->
-              do_jal m rd off;
-              finish ~taken:true insn
-          | Jalr (rd, rs1, off) ->
-              do_jalr m rd rs1 off;
-              finish ~taken:true insn
-          | Branch (cond, rs1, rs2, off) ->
-              let taken = branch_taken cond (reg_int m rs1) (reg_int m rs2) in
-              if taken then begin
-                let pc = Capability.address m.pcc in
-                let target = (pc + off) land mask32 in
-                if
-                  m.mode = Cheriot
-                  && not (Capability.in_bounds m.pcc ~size:4 target)
-                then raise (Trap (Cheri_fault (Cheri_bounds, 16)));
-                m.pcc <-
-                  (if m.mode = Cheriot then Capability.with_address m.pcc target
-                   else Capability.{ m.pcc with addr = target })
-              end
-              else next ();
-              finish ~taken insn
-          | Load { signed; width; rd; rs1; off } ->
-              let bytes = do_load m ~ridx:rs1 ~rs1 ~off ~width ~signed ~rd in
-              next ();
-              finish ~mem:bytes insn
-          | Store { width; rs2; rs1; off } ->
-              let bytes = do_store m ~ridx:rs1 ~rs1 ~off ~width ~rs2 in
-              next ();
-              finish ~mem:bytes ~store:true insn
-          | Clc (rd, rs1, off) ->
-              do_clc m ~rd ~rs1 ~off;
-              next ();
-              finish ~mem:8 ~cap_mem:true insn
-          | Csc (rs2, rs1, off) ->
-              do_csc m ~rs2 ~rs1 ~off;
-              next ();
-              finish ~mem:8 ~cap_mem:true ~store:true insn
-          | Op_imm (op, rd, rs1, imm) ->
-              set_reg_int m rd (alu_exec op (reg_int m rs1) (imm land mask32));
-              next ();
-              finish insn
-          | Op (op, rd, rs1, rs2) ->
-              set_reg_int m rd (alu_exec op (reg_int m rs1) (reg_int m rs2));
-              next ();
-              finish insn
-          | Mul_div (op, rd, rs1, rs2) ->
-              set_reg_int m rd
-                (muldiv_exec op (reg_int m rs1) (reg_int m rs2));
-              next ();
-              finish insn
-          | Ecall -> raise (Trap Ecall_m)
-          | Ebreak ->
-              m.last_event <- { no_event with ev_insn = Some insn };
-              Step_halted
-          | Mret ->
-              require_sr m;
-              let target = m.mepcc in
-              let target =
-                match Capability.sentry_kind target with
-                | Some kind ->
-                    apply_sentry_posture m kind;
-                    Capability.{ target with otype = Otype.unsealed }
-                | None ->
-                    m.mie <- m.mpie;
-                    target
-              in
-              m.mpie <- true;
-              m.pcc <- target;
-              finish ~taken:true insn
-          | Wfi ->
-              if not (interrupt_pending m) then m.waiting <- true;
-              next ();
-              if m.waiting then begin
-                m.minstret <- m.minstret + 1;
-                m.last_event <- { no_event with ev_insn = Some insn };
-                Step_waiting
-              end
-              else finish insn
-          | Csr (op, rd, rs1, n) ->
-              do_csr m op rd rs1 n;
-              next ();
-              finish insn
-          | Cincaddr _ | Cincaddrimm _ | Csetaddr _ | Csetbounds _
-          | Csetboundsexact _ | Csetboundsimm _ | Crrl _ | Cram _
-          | Candperm _ | Ccleartag _ | Cmove _ | Cseal _ | Cunseal _
-          | Cget _ | Csub _ | Ctestsubset _ | Csetequalexact _
-          | Cspecialrw _ ->
-              exec_cap m insn;
-              next ();
-              finish insn)
+      if cached then
+        let e = fetch_cached m in
+        (* Rv32 tickets don't field-compare the PCC, so the prebuilt
+           next-PCC is only trusted in CHERIoT mode. *)
+        let nextc = match m.mode with Cheriot -> e.c_next | Rv32 -> None in
+        exec m e.c_insn e.c_opt nextc
+      else
+        let insn = fetch_decode m in
+        exec m insn (Some insn) None
     with Trap cause ->
       m.last_event <- { no_event with ev_trap = Some cause };
       enter_trap m cause
-  end
 
-let run ?(fuel = 10_000_000) m =
+let step m = step_gen m ~cached:false
+let step_fast m = step_gen m ~cached:true
+
+let run ?(fuel = 10_000_000) ?(fast = false) m =
+  let step = if fast then step_fast else step in
   let rec go n =
     if n >= fuel then (Step_ok, n)
     else
@@ -717,3 +909,40 @@ let run ?(fuel = 10_000_000) m =
       | (Step_waiting | Step_halted | Step_double_fault) as r -> (r, n + 1)
   in
   go 0
+
+(* --- decode cache management ------------------------------------------ *)
+
+let decode_stats m = Decode_cache.stats m.dcache
+
+let flush_decode_cache m = Decode_cache.flush m.dcache
+
+(* --- observational state hash ----------------------------------------- *)
+
+(* A digest of every architecturally visible bit: registers (with tags),
+   PCC, SCRs, CSR state, and the full contents + tag bits of every SRAM
+   on the bus.  Two runs that agree on this hash and on [minstret] are
+   observationally identical — the bench uses it to hold the fast
+   dispatch path to the reference interpreter. *)
+let state_hash m =
+  let buf = Buffer.create 512 in
+  let add_cap c =
+    Buffer.add_string buf
+      (Printf.sprintf "%c%Lx;"
+         (if c.Capability.tag then 't' else 'u')
+         (Capability.to_word c))
+  in
+  Array.iter add_cap m.regs;
+  add_cap m.pcc;
+  add_cap m.ddc;
+  add_cap m.mtcc;
+  add_cap m.mepcc;
+  add_cap m.mtdc;
+  add_cap m.mscratchc;
+  Buffer.add_string buf
+    (Printf.sprintf "%B%B%d/%d/%d/%d/%d/%d/%d/%B%B"
+       m.mie m.mpie m.mcause m.mtval m.minstret m.mshwm m.mshwmb m.mtimecmp
+       m.mcycle m.ext_interrupt m.waiting);
+  List.iter
+    (fun s -> Buffer.add_string buf (Cheriot_mem.Sram.digest s))
+    (Bus.srams m.bus);
+  Digest.to_hex (Digest.string (Buffer.contents buf))

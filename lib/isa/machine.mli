@@ -45,14 +45,16 @@ val mcause_of : cause -> int
 (** The value written to [mcause] (interrupt bit in bit 31). *)
 
 (** What [step] observed — consumed by the micro-architectural cycle
-    models, which charge cycles per event. *)
+    models, which charge cycles per event.  The fields are mutable
+    because the machine reuses one record across steps on the hot path:
+    read [last_event] before stepping again, don't retain it. *)
 type event = {
-  ev_insn : Insn.t option;  (** None when no instruction retired *)
-  ev_taken_branch : bool;
-  ev_mem_bytes : int;  (** data bytes moved, 0 if none *)
-  ev_is_cap_mem : bool;
-  ev_is_store : bool;
-  ev_trap : cause option;
+  mutable ev_insn : Insn.t option;  (** None when no instruction retired *)
+  mutable ev_taken_branch : bool;
+  mutable ev_mem_bytes : int;  (** data bytes moved, 0 if none *)
+  mutable ev_is_cap_mem : bool;
+  mutable ev_is_store : bool;
+  mutable ev_trap : cause option;
 }
 
 type result =
@@ -87,6 +89,28 @@ type t = {
   mutable ext_interrupt : bool;  (** external interrupt line *)
   mutable waiting : bool;  (** inside WFI *)
   mutable last_event : event;
+  dcache : centry Decode_cache.t;
+      (** decoded-instruction cache backing {!step_fast}; invalidated by
+          the bus store snoop *)
+}
+
+and centry = {
+  c_insn : Insn.t;
+  c_opt : Insn.t option;
+      (** always [Some c_insn], prebuilt so the per-step event update
+          does not allocate *)
+  c_mode : mode;
+  c_pcc : Cheriot_core.Capability.t;
+      (** fetch "ticket": the mode and exact PCC under which the
+          fetch-side checks passed when this entry was filled.  A hit
+          under an identical PCC skips the checks — they are a pure
+          function of (mode, PCC, pc). *)
+  c_next : Cheriot_core.Capability.t option;
+      (** the step-advanced PCC, precomputed at fill time.  The PC
+          advance is a pure function of the ticket fields, so a
+          validated hit installs this record directly instead of
+          re-running the representability check.  [None] only in the
+          cache's dummy entry. *)
 }
 
 val create : ?mode:mode -> ?load_filter:bool -> Cheriot_mem.Bus.t -> t
@@ -111,9 +135,33 @@ val interrupt_pending : t -> bool
 
 val step : t -> result
 (** Execute one instruction (or take a pending interrupt).  Updates
-    [last_event] for the cycle models and [minstret]. *)
+    [last_event] for the cycle models and [minstret].  This is the
+    {e reference interpreter}: it re-reads and re-decodes the
+    instruction word on every step. *)
 
-val run : ?fuel:int -> t -> result * int
+val step_fast : t -> result
+(** Like {!step}, but fetches through the decoded-instruction cache: on
+    a hit the bus read and decode are skipped.  Observationally
+    identical to {!step} — same registers, tags, CSRs, traps and events
+    after every step (enforced by [test/test_differential.ml]).  Stores
+    through the bus invalidate stale entries; code rewritten behind the
+    bus's back (direct SRAM writes) requires {!flush_decode_cache}. *)
+
+val run : ?fuel:int -> ?fast:bool -> t -> result * int
 (** Step until halt/double-fault/waiting or [fuel] (default 10M)
     instructions; returns the final result and instructions retired.
-    Traps are not stopping events (the handler runs). *)
+    Traps are not stopping events (the handler runs).  [fast] selects
+    {!step_fast} dispatch (default false: reference path). *)
+
+val decode_stats : t -> Decode_cache.stats
+(** Hit/miss/invalidation counters of the decoded-instruction cache. *)
+
+val flush_decode_cache : t -> unit
+(** Drop every cached decode — required after rewriting code with direct
+    SRAM writes that bypass the bus store snoop (e.g. [Asm.load]). *)
+
+val state_hash : t -> string
+(** Hex digest of all architecturally visible state: registers and tags,
+    PCC, SCRs, CSRs, and the contents + tag bits of every SRAM on the
+    bus.  Equal hashes (plus equal [minstret]) mean two runs are
+    observationally identical. *)

@@ -6,18 +6,38 @@ type t = {
   mutable revbits : Revbits.t option;
   mutable store_snoops : (int -> unit) list;
   mutable accesses : int;
+  mutable mru_sram : Sram.t option;
+      (* most-recently-hit SRAM: accesses cluster heavily, so this skips
+         the list walk on nearly every read/write *)
 }
 
 let create () =
-  { srams = []; devices = []; revbits = None; store_snoops = []; accesses = 0 }
+  {
+    srams = [];
+    devices = [];
+    revbits = None;
+    store_snoops = [];
+    accesses = 0;
+    mru_sram = None;
+  }
 
-let add_sram t s = t.srams <- s :: t.srams
+let add_sram t s =
+  t.srams <- s :: t.srams;
+  t.mru_sram <- None
 let add_device t d = t.devices <- d :: t.devices
 let set_revbits t r = t.revbits <- Some r
 let revbits t = t.revbits
 
+let srams t =
+  List.sort (fun a b -> compare (Sram.base a) (Sram.base b)) t.srams
+
 let sram_at t addr =
-  List.find_opt (fun s -> Sram.in_range s ~addr ~size:1) t.srams
+  match t.mru_sram with
+  | Some s when Sram.in_range s ~addr ~size:1 -> t.mru_sram
+  | _ ->
+      let r = List.find_opt (fun s -> Sram.in_range s ~addr ~size:1) t.srams in
+      (match r with Some _ -> t.mru_sram <- r | None -> ());
+      r
 
 let device_at t addr =
   List.find_opt

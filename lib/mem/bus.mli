@@ -19,6 +19,9 @@ val revbits : t -> Revbits.t option
 val sram_at : t -> int -> Sram.t option
 (** The SRAM region containing an address, if any. *)
 
+val srams : t -> Sram.t list
+(** All SRAM regions on the bus, ordered by base address. *)
+
 (** {1 Access} *)
 
 val read : t -> width:int -> int -> int

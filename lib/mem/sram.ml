@@ -110,6 +110,11 @@ let fill t ~addr ~len c =
     clear_microtags_for_write t addr len
   end
 
+let digest t =
+  Digest.string
+    (Printf.sprintf "%x:%x:" t.base t.size
+    ^ Digest.bytes t.data ^ Digest.bytes t.microtags)
+
 let blit_string t ~addr s =
   let len = String.length s in
   if len > 0 then begin

@@ -56,6 +56,10 @@ val clear_tag_at : t -> int -> unit
 val tag_at : t -> int -> bool
 (** Architectural tag of the granule containing the address. *)
 
+val digest : t -> string
+(** MD5 of base, size, contents and micro-tags — the memory part of a
+    machine state hash. *)
+
 val fill : t -> addr:int -> len:int -> char -> unit
 (** Fill a byte range (clearing affected micro-tags), e.g. stack zeroing. *)
 

@@ -1,6 +1,17 @@
 module Machine = Cheriot_isa.Machine
+module Decode_cache = Cheriot_isa.Decode_cache
 
-type stats = { cycles : int; instructions : int; mem_busy : int; traps : int }
+type dispatch = Reference | Cached
+
+type stats = {
+  cycles : int;
+  instructions : int;
+  mem_busy : int;
+  traps : int;
+  decode_hits : int;
+  decode_misses : int;
+  decode_invalidations : int;
+}
 
 let cpi s =
   if s.instructions = 0 then 0.0
@@ -8,22 +19,32 @@ let cpi s =
 
 let pp_stats fmt s =
   Format.fprintf fmt "%d cycles, %d insns (CPI %.2f), %d mem-busy, %d traps"
-    s.cycles s.instructions (cpi s) s.mem_busy s.traps
+    s.cycles s.instructions (cpi s) s.mem_busy s.traps;
+  if s.decode_hits + s.decode_misses > 0 then
+    Format.fprintf fmt ", decode$ %d/%d hits (%d inval)" s.decode_hits
+      (s.decode_hits + s.decode_misses) s.decode_invalidations
 
 type t = {
   machine : Machine.t;
   params : Core_model.params;
   revoker : Revoker.t option;
+  dispatch : dispatch;
   mutable stats : stats;
 }
 
-let create ?revoker ~params machine =
+let zero_stats =
   {
-    machine;
-    params;
-    revoker;
-    stats = { cycles = 0; instructions = 0; mem_busy = 0; traps = 0 };
+    cycles = 0;
+    instructions = 0;
+    mem_busy = 0;
+    traps = 0;
+    decode_hits = 0;
+    decode_misses = 0;
+    decode_invalidations = 0;
   }
+
+let create ?revoker ?(dispatch = Reference) ~params machine =
+  { machine; params; revoker; dispatch; stats = zero_stats }
 
 let charge t ev =
   let cycles =
@@ -40,6 +61,7 @@ let charge t ev =
         Revoker.tick r
       done
   | None -> ());
+  let dc = Machine.decode_stats t.machine in
   t.stats <-
     {
       cycles = t.stats.cycles + cycles;
@@ -48,10 +70,18 @@ let charge t ev =
       mem_busy = t.stats.mem_busy + busy;
       traps =
         (t.stats.traps + match ev.Machine.ev_trap with Some _ -> 1 | None -> 0);
+      (* cumulative machine-side counters, not deltas *)
+      decode_hits = dc.Decode_cache.hits;
+      decode_misses = dc.Decode_cache.misses;
+      decode_invalidations = dc.Decode_cache.invalidations;
     }
 
 let step t =
-  let r = Machine.step t.machine in
+  let r =
+    match t.dispatch with
+    | Reference -> Machine.step t.machine
+    | Cached -> Machine.step_fast t.machine
+  in
   (match r with
   | Machine.Step_waiting ->
       (* WFI idle: one cycle passes, fully available to the revoker. *)

@@ -2,11 +2,21 @@
     advancing [mcycle], feeding idle memory cycles to the background
     revoker, and collecting statistics. *)
 
+(** Which fetch/decode path drives the machine.  [Reference] re-decodes
+    every instruction ([Machine.step]); [Cached] runs from the
+    decoded-instruction cache ([Machine.step_fast]).  Both produce
+    identical architectural traces and cycle counts — the cache is a
+    simulator-speed optimization, invisible to the modelled hardware. *)
+type dispatch = Reference | Cached
+
 type stats = {
   cycles : int;
   instructions : int;
   mem_busy : int;  (** cycles the data bus was busy with CPU traffic *)
   traps : int;
+  decode_hits : int;  (** decoded-instruction cache hits (cumulative) *)
+  decode_misses : int;
+  decode_invalidations : int;  (** entries killed by store snoops *)
 }
 
 val cpi : stats -> float
@@ -16,15 +26,18 @@ type t = {
   machine : Cheriot_isa.Machine.t;
   params : Core_model.params;
   revoker : Revoker.t option;
+  dispatch : dispatch;
   mutable stats : stats;
 }
 
-val create : ?revoker:Revoker.t -> params:Core_model.params ->
-  Cheriot_isa.Machine.t -> t
+val create : ?revoker:Revoker.t -> ?dispatch:dispatch ->
+  params:Core_model.params -> Cheriot_isa.Machine.t -> t
+(** [dispatch] defaults to [Reference]. *)
 
 val step : t -> Cheriot_isa.Machine.result
-(** One instruction: steps the machine, charges cycles, grants the
-    revoker the idle memory slots of those cycles. *)
+(** One instruction: steps the machine (via the configured dispatch
+    path), charges cycles, grants the revoker the idle memory slots of
+    those cycles. *)
 
 val run : ?fuel:int -> t -> Cheriot_isa.Machine.result
 (** Run until halt / double fault / WFI-with-no-interrupt-source, or

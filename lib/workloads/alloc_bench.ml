@@ -117,6 +117,83 @@ let run ?(total = 1 lsl 20) ?threshold config ~size =
 
 let run_with_threshold config ~size ~threshold = run ~threshold config ~size
 
+(* --- instruction-level variant for the decode-cache bench -------------- *)
+
+module Machine = Cheriot_isa.Machine
+module Asm = Cheriot_isa.Asm
+module Insn = Cheriot_isa.Insn
+module Bus = Cheriot_mem.Bus
+
+(** The allocator's memory-access pattern as a real instruction stream on
+    the emulator (the cycle-ledger benchmark above never executes
+    instructions): each round carves 64 bounded 32-byte objects out of a
+    bump region ([csetbounds] + header stores), parks their capabilities
+    in a slot array ([csc]), then walks the slots back ([clc]), sums the
+    headers and retires each capability untagged — the malloc/free shape
+    that dominates Table 4.  Runs to [Ebreak]; the checksum lands in
+    [a0]. *)
+let isa_setup ?(rounds = 100) () =
+  let code_base = 0x1_0000 and data_base = 0x2_0000 in
+  let a0 = Insn.reg_a0 and a4 = Insn.reg_a4 and a5 = Insn.reg_a5 in
+  let t0 = Insn.reg_t0 and t1 = Insn.reg_t1 and t2 = Insn.reg_t2 in
+  let s0 = Insn.reg_s0 and s1 = Insn.reg_s1 and gp = Insn.reg_gp in
+  let slots = 64 and obj_size = 32 in
+  let program =
+    [
+      Asm.Li (a0, 0);
+      Asm.Li (s1, rounds);
+      Asm.Label "outer";
+      (* bump pointer over the object area, above the slot array *)
+      Asm.Li (t2, 0x1000);
+      Asm.I (Insn.Cincaddr (s0, gp, t2));
+      Asm.Li (t0, slots);
+      Asm.Label "alloc";
+      Asm.I (Insn.Csetboundsimm (a5, s0, obj_size));
+      Asm.Li (t1, obj_size);
+      Asm.I (Insn.Store { width = W; rs2 = t1; rs1 = a5; off = 0 });
+      Asm.I (Insn.Store { width = W; rs2 = t0; rs1 = a5; off = 4 });
+      Asm.I (Insn.Op_imm (Add, t2, t0, -1));
+      Asm.I (Insn.Op_imm (Sll, t2, t2, 3));
+      Asm.I (Insn.Cincaddr (a4, gp, t2));
+      Asm.I (Insn.Csc (a5, a4, 0));
+      Asm.I (Insn.Cincaddrimm (s0, s0, obj_size));
+      Asm.I (Insn.Op_imm (Add, t0, t0, -1));
+      Asm.B (Insn.Ne, t0, 0, "alloc");
+      Asm.Li (t0, slots);
+      Asm.Label "free";
+      Asm.I (Insn.Op_imm (Add, t2, t0, -1));
+      Asm.I (Insn.Op_imm (Sll, t2, t2, 3));
+      Asm.I (Insn.Cincaddr (a4, gp, t2));
+      Asm.I (Insn.Clc (a5, a4, 0));
+      Asm.I (Insn.Load { signed = true; width = W; rd = t1; rs1 = a5; off = 0 });
+      Asm.I (Insn.Op (Add, a0, a0, t1));
+      Asm.I (Insn.Ccleartag (a5, a5));
+      Asm.I (Insn.Csc (a5, a4, 0));
+      Asm.I (Insn.Op_imm (Add, t0, t0, -1));
+      Asm.B (Insn.Ne, t0, 0, "free");
+      Asm.I (Insn.Op_imm (Add, s1, s1, -1));
+      Asm.B (Insn.Ne, s1, 0, "outer");
+      Asm.I Insn.Ebreak;
+    ]
+  in
+  let bus = Bus.create () in
+  let code = Sram.create ~base:code_base ~size:0x1000 in
+  let data = Sram.create ~base:data_base ~size:0x4000 in
+  Bus.add_sram bus code;
+  Bus.add_sram bus data;
+  let img = Asm.assemble ~origin:code_base program in
+  Asm.load img code;
+  let m = Machine.create bus in
+  m.Machine.pcc <-
+    Cheriot_core.Capability.(
+      set_bounds (with_address root_executable code_base) ~length:0x1000
+        ~exact:true);
+  Machine.set_reg m gp
+    Cheriot_core.Capability.(
+      set_bounds (with_address root_mem_rw data_base) ~length:0x4000
+        ~exact:true);
+  m
+
 let overhead_vs_baseline ~baseline r =
   100.0
   *. (float_of_int r.cycles -. float_of_int baseline.cycles)

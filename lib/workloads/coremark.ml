@@ -396,7 +396,10 @@ type result = {
    relative results are honest. *)
 let score_scale = ref 1.0
 
-let run ?(iterations = 10) (config : Core_model.config) =
+(** Build a machine with the CoreMark image loaded and registers set up,
+    ready to run to [Ebreak] — shared by {!run} and the decode-cache
+    bench, which drives [Machine.step]/[step_fast] directly. *)
+let setup ?(iterations = 10) (config : Core_model.config) =
   let bus = Bus.create () in
   let sram = Sram.create ~base:code_base ~size:0x30000 in
   Bus.add_sram bus sram;
@@ -432,7 +435,14 @@ let run ?(iterations = 10) (config : Core_model.config) =
       m.Machine.pcc <-
         Cheriot_core.Capability.{ root_executable with addr = code_base };
       Machine.set_reg_int m sp stack_top);
-  let perf = Perf.create ~params:(Core_model.params_of config.core) m in
+  m
+
+let run ?(iterations = 10) ?(dispatch = Perf.Reference)
+    (config : Core_model.config) =
+  let m = setup ~iterations config in
+  let perf =
+    Perf.create ~dispatch ~params:(Core_model.params_of config.core) m
+  in
   (match Perf.run ~fuel:20_000_000 perf with
   | Machine.Step_halted -> ()
   | _ -> failwith "coremark: did not halt");

@@ -165,3 +165,86 @@ let run ?(seconds = 60.0) ?(temporal = Allocator.Hardware) () =
     sweeps = st.Allocator.sweeps;
     context_switches = Sched.context_switches sched;
   }
+
+(* --- instruction-level variant for the decode-cache bench -------------- *)
+
+module Machine = Cheriot_isa.Machine
+module Asm = Cheriot_isa.Asm
+module Insn = Cheriot_isa.Insn
+module Bus = Cheriot_mem.Bus
+
+(** The packet-processing inner loop as a real instruction stream on the
+    emulator (the simulation above is discrete-event and never executes
+    instructions): per packet, derive a bounded 64-byte buffer capability
+    from the pool, fill it byte-by-byte, checksum it back with a second
+    byte-wise pass, and every fourth packet run a short multiply-heavy
+    "JS tick".  Runs to [Ebreak]; the running checksum lands in [a0]. *)
+let isa_setup ?(packets = 200) () =
+  let code_base = 0x1_0000 and data_base = 0x2_0000 in
+  let a0 = Insn.reg_a0 and a1 = Insn.reg_a1 and a2 = Insn.reg_a2 in
+  let a4 = Insn.reg_a4 in
+  let t0 = Insn.reg_t0 and t1 = Insn.reg_t1 and t2 = Insn.reg_t2 in
+  let s0 = Insn.reg_s0 and s1 = Insn.reg_s1 and gp = Insn.reg_gp in
+  let buf_size = 64 in
+  let program =
+    [
+      Asm.Li (a0, 0);
+      Asm.Li (s1, packets);
+      Asm.Label "pkt";
+      (* one of eight pool buffers, chosen by packet number *)
+      Asm.I (Insn.Op_imm (And, t2, s1, 7));
+      Asm.I (Insn.Op_imm (Sll, t2, t2, 6));
+      Asm.I (Insn.Cincaddr (s0, gp, t2));
+      Asm.I (Insn.Csetboundsimm (s0, s0, buf_size));
+      Asm.Li (t0, buf_size);
+      Asm.Label "fill";
+      Asm.I (Insn.Op_imm (Add, t2, t0, -1));
+      Asm.I (Insn.Cincaddr (a4, s0, t2));
+      Asm.I (Insn.Op (Xor, t1, t0, s1));
+      Asm.I (Insn.Store { width = B; rs2 = t1; rs1 = a4; off = 0 });
+      Asm.I (Insn.Op_imm (Add, t0, t0, -1));
+      Asm.B (Insn.Ne, t0, 0, "fill");
+      Asm.Li (t0, buf_size);
+      Asm.Li (a1, 0);
+      Asm.Label "cksum";
+      Asm.I (Insn.Op_imm (Add, t2, t0, -1));
+      Asm.I (Insn.Cincaddr (a4, s0, t2));
+      Asm.I (Insn.Load { signed = false; width = B; rd = t1; rs1 = a4; off = 0 });
+      Asm.I (Insn.Op (Xor, a1, a1, t1));
+      Asm.I (Insn.Op_imm (Add, t0, t0, -1));
+      Asm.B (Insn.Ne, t0, 0, "cksum");
+      Asm.I (Insn.Op (Add, a0, a0, a1));
+      (* every fourth packet: the Microvium interpreter tick *)
+      Asm.I (Insn.Op_imm (And, t2, s1, 3));
+      Asm.B (Insn.Ne, t2, 0, "nojs");
+      Asm.Li (t0, 50);
+      Asm.Li (a2, 7);
+      Asm.Label "js";
+      Asm.I (Insn.Mul_div (Mul, a2, a2, a2));
+      Asm.I (Insn.Op_imm (Add, a2, a2, 13));
+      Asm.I (Insn.Op (Add, a0, a0, a2));
+      Asm.I (Insn.Op_imm (Add, t0, t0, -1));
+      Asm.B (Insn.Ne, t0, 0, "js");
+      Asm.Label "nojs";
+      Asm.I (Insn.Op_imm (Add, s1, s1, -1));
+      Asm.B (Insn.Ne, s1, 0, "pkt");
+      Asm.I Insn.Ebreak;
+    ]
+  in
+  let bus = Bus.create () in
+  let code = Sram.create ~base:code_base ~size:0x1000 in
+  let data = Sram.create ~base:data_base ~size:0x1000 in
+  Bus.add_sram bus code;
+  Bus.add_sram bus data;
+  let img = Asm.assemble ~origin:code_base program in
+  Asm.load img code;
+  let m = Machine.create bus in
+  m.Machine.pcc <-
+    Cheriot_core.Capability.(
+      set_bounds (with_address root_executable code_base) ~length:0x1000
+        ~exact:true);
+  Machine.set_reg m gp
+    Cheriot_core.Capability.(
+      set_bounds (with_address root_mem_rw data_base) ~length:0x1000
+        ~exact:true);
+  m

@@ -186,10 +186,114 @@ let test_decode_examples () =
         "off by one" false
         (Bounds.in_bounds bounds ~addr:0x1000 ~access:0x1040 ~size:1)
 
+(* Exhaustive round-trip over the entire E'4/B'9/T'9 field space.
+
+   Every encodable (E, B, T) triple is decoded at its canonical address
+   [B << e] (so both Fig. 3 corrections start from cb = 0), and the
+   resulting region is fed back through [set_bounds].  The encoding must
+   be the identity on its own image: re-encoding a decodable region
+   yields exactly that region — never widened (that would amplify
+   authority), never narrowed (that would break CSetBounds's contract of
+   covering the request).  Triples whose decode leaves the 32-bit
+   address space are skipped: they have no canonical in-space region
+   (the ISA can still hold them — decode is total — but set_bounds can
+   never produce them). *)
+let test_roundtrip_exhaustive () =
+  let checked = ref 0 in
+  for e_field = 0 to 15 do
+    let e = if e_field = 15 then 24 else e_field in
+    for b = 0 to 511 do
+      let base = b lsl e in
+      if base <= 0xFFFF_FFFF then
+        for t = 0 to 511 do
+          let ct = if t < b then 1 else 0 in
+          let top = ((ct lsl 9) lor t) lsl e in
+          if top <= 0x1_0000_0000 then begin
+            incr checked;
+            let bounds = Bounds.of_raw_fields ~e:e_field ~b ~t in
+            let db, dt = Bounds.decode bounds ~addr:base in
+            if db <> base || dt <> top then
+              Alcotest.failf
+                "decode e=%d B=%#x T=%#x at %#x: got [%#x,%#x), want [%#x,%#x)"
+                e_field b t base db dt base top;
+            (* the allocation-free single-ended decodes agree *)
+            if
+              Bounds.base_of bounds ~addr:base <> db
+              || Bounds.top_of bounds ~addr:base <> dt
+            then
+              Alcotest.failf "base_of/top_of disagree with decode at e=%d B=%#x T=%#x"
+                e_field b t;
+            match Bounds.set_bounds ~base ~length:(top - base) with
+            | None ->
+                Alcotest.failf
+                  "set_bounds rejected its own image [%#x,%#x) (e=%d B=%#x T=%#x)"
+                  base top e_field b t
+            | Some (bounds', b', t') ->
+                if b' <> base || t' <> top then
+                  Alcotest.failf
+                    "round trip moved [%#x,%#x) to [%#x,%#x) (e=%d B=%#x T=%#x)"
+                    base top b' t' e_field b t;
+                let db', dt' = Bounds.decode bounds' ~addr:base in
+                if db' <> base || dt' <> top then
+                  Alcotest.failf "re-encoded fields decode differently at e=%d"
+                    e_field
+          end
+        done
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d field triples checked" !checked)
+    true
+    (!checked > 3_000_000)
+
+(* The invariant the emulator's fast path depends on: an address inside
+   the decoded bounds is always representable, and decodes to the same
+   region.  [Machine] installs jump/branch targets with a plain record
+   update after an [in_bounds] check — skipping [with_address]'s
+   representability test — and the decode cache precomputes the advanced
+   PCC on the same grounds.  Exhaustive over the field space, probing
+   the edges and middle of every region. *)
+let test_in_bounds_implies_representable () =
+  let probe bounds ~base ~top a =
+    if a >= base && a < top then begin
+      if not (Bounds.representable bounds ~cur:base ~addr:a) then
+        Alcotest.failf "in-bounds %#x of [%#x,%#x) flagged unrepresentable" a
+          base top;
+      if
+        Bounds.base_of bounds ~addr:a <> base
+        || Bounds.top_of bounds ~addr:a <> top
+      then
+        Alcotest.failf "in-bounds %#x of [%#x,%#x) decodes elsewhere" a base
+          top
+    end
+  in
+  for e_field = 0 to 15 do
+    let e = if e_field = 15 then 24 else e_field in
+    for b = 0 to 511 do
+      let base = b lsl e in
+      if base <= 0xFFFF_FFFF then
+        for t = 0 to 511 do
+          let ct = if t < b then 1 else 0 in
+          let top = ((ct lsl 9) lor t) lsl e in
+          if top <= 0x1_0000_0000 && top > base then begin
+            let bounds = Bounds.of_raw_fields ~e:e_field ~b ~t in
+            probe bounds ~base ~top base;
+            probe bounds ~base ~top (base + 1);
+            probe bounds ~base ~top (base + ((top - base) / 2));
+            probe bounds ~base ~top (top - 1)
+          end
+        done
+    done
+  done
+
 let suite =
   let q = QCheck_alcotest.to_alcotest in
   [
     Alcotest.test_case "Fig.3 correction rows" `Quick test_fig3_corrections;
+    Alcotest.test_case "exhaustive E/B/T round trip" `Slow
+      test_roundtrip_exhaustive;
+    Alcotest.test_case "in-bounds implies representable (exhaustive)" `Slow
+      test_in_bounds_implies_representable;
     Alcotest.test_case "whole address space root" `Quick
       test_whole_address_space;
     Alcotest.test_case "exponent 15..23 gap" `Quick test_exponent_gap;

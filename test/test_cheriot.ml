@@ -13,6 +13,8 @@ let () =
       ("preemption", Test_preemption.suite);
       ("sealing-service", Test_sealing_service.suite);
       ("fuzz", Test_fuzz.suite);
+      ("differential", Test_differential.suite);
+      ("decode-cache", Test_decode_cache.suite);
       ("integration", Test_integration.suite);
       ("area", Test_area.suite);
       ("workloads", Test_workloads.suite);

@@ -1,0 +1,175 @@
+(* Decode-cache invalidation regressions.
+
+   The decoded-instruction cache must never serve a stale decode: any
+   store through the bus — from the running program (self-modifying
+   code) or from a loader — invalidates the written granule, and
+   writers that bypass the bus must flush.  Each test rewrites code one
+   of those ways and checks the re-executed instruction's *new*
+   semantics take effect on the cached path, agreeing with the
+   reference interpreter. *)
+
+open Cheriot_core
+open Cheriot_isa
+module Sram = Cheriot_mem.Sram
+module Bus = Cheriot_mem.Bus
+
+let code_base = 0x1_0000
+let code_size = 0x400
+
+let boot words =
+  let bus = Bus.create () in
+  let code = Sram.create ~base:code_base ~size:code_size in
+  Bus.add_sram bus code;
+  let m = Machine.create bus in
+  List.iteri (fun i w -> Sram.write32 code (code_base + (4 * i)) w) words;
+  Machine.flush_decode_cache m;
+  m.Machine.pcc <-
+    Capability.set_bounds
+      (Capability.with_address Capability.root_executable code_base)
+      ~length:code_size ~exact:false;
+  (m, code)
+
+let run ~fast m =
+  let step = if fast then Machine.step_fast else Machine.step in
+  let rec go n =
+    if n > 10_000 then Alcotest.fail "program did not halt"
+    else
+      match step m with
+      | Machine.Step_halted -> ()
+      | Machine.Step_ok -> go (n + 1)
+      | Machine.Step_trap c -> Alcotest.failf "trapped: %a" Machine.pp_cause c
+      | Machine.Step_waiting | Machine.Step_double_fault ->
+          Alcotest.fail "unexpected stop"
+  in
+  go 0
+
+(* The instruction that gets rewritten, in both versions.  Final [c2]
+   tells which decode executed: the old one adds 1, the new one 16. *)
+let old_insn = Insn.Op_imm (Add, 2, 2, 1)
+let new_insn = Insn.Op_imm (Add, 2, 2, 16)
+
+(* Self-modifying code: pass 1 executes (and caches) the old word 0,
+   then stores the new encoding over it and branches back; pass 2 must
+   see the new semantics.  Expected c2 = 1 + 16. *)
+let test_self_modifying () =
+  let program =
+    Insn.
+      [
+        old_insn;
+        (* word 0: the target *)
+        Op_imm (Add, 1, 1, 1);
+        (* word 1: pass counter *)
+        Store { width = W; rs2 = 5; rs1 = 4; off = 0 };
+        (* word 2: patch word 0 *)
+        Branch (Ne, 1, 6, -12);
+        (* word 3: loop while c1 <> 2 *)
+        Ebreak;
+      ]
+  in
+  let check ~fast =
+    let m, _ = boot (List.map Encode.encode program) in
+    (* c4: store authority over the code region (the program patches
+       itself through the bus, so the snoop must catch it). *)
+    Machine.set_reg m 4
+      (Capability.set_bounds
+         (Capability.with_address Capability.root_mem_rw code_base)
+         ~length:code_size ~exact:false);
+    Machine.set_reg_int m 5 (Encode.encode new_insn);
+    Machine.set_reg_int m 6 2;
+    run ~fast m;
+    Alcotest.(check int)
+      (if fast then "cached path sees the patched instruction"
+       else "reference path sees the patched instruction")
+      17 (Machine.reg_int m 2);
+    m
+  in
+  let _ = check ~fast:false in
+  let m = check ~fast:true in
+  let stats = Machine.decode_stats m in
+  Alcotest.(check bool)
+    "the patch store invalidated cached decodes" true
+    (stats.Decode_cache.invalidations > 0)
+
+let straight_line = Insn.[ old_insn; Ebreak ]
+
+let reset m =
+  m.Machine.pcc <- Capability.with_address m.Machine.pcc code_base;
+  Machine.set_reg m 2 Capability.null
+
+(* Loader patch: rewrite an already-cached word through [Bus.write]
+   (integer store, as a loader relocating code would), re-run. *)
+let test_loader_patch () =
+  let m, _ = boot (List.map Encode.encode straight_line) in
+  run ~fast:true m;
+  Alcotest.(check int) "first run, old semantics" 1 (Machine.reg_int m 2);
+  let before = (Machine.decode_stats m).Decode_cache.invalidations in
+  Bus.write m.Machine.bus ~width:4 code_base (Encode.encode new_insn);
+  let after = (Machine.decode_stats m).Decode_cache.invalidations in
+  Alcotest.(check bool) "bus store snooped" true (after > before);
+  reset m;
+  run ~fast:true m;
+  Alcotest.(check int) "patched run, new semantics" 16 (Machine.reg_int m 2)
+
+(* Direct SRAM write: bypasses the bus snoop, so the cache is
+   legitimately stale until flushed.  The stale read is asserted too —
+   it proves the cache really is serving decodes (the hazard documented
+   on [Machine.flush_decode_cache]), so this test would catch the snoop
+   silently watching the wrong channel. *)
+let test_bypass_needs_flush () =
+  let m, code = boot (List.map Encode.encode straight_line) in
+  run ~fast:true m;
+  Alcotest.(check int) "first run, old semantics" 1 (Machine.reg_int m 2);
+  Sram.write32 code code_base (Encode.encode new_insn);
+  reset m;
+  run ~fast:true m;
+  Alcotest.(check int)
+    "bypass write unseen: cached decode still served" 1 (Machine.reg_int m 2);
+  Machine.flush_decode_cache m;
+  reset m;
+  run ~fast:true m;
+  Alcotest.(check int) "after flush, new semantics" 16 (Machine.reg_int m 2);
+  (* The reference interpreter never consults the cache, so it sees the
+     bypass write immediately, flush or not. *)
+  let m2, code2 = boot (List.map Encode.encode straight_line) in
+  Sram.write32 code2 code_base (Encode.encode new_insn);
+  run ~fast:false m2;
+  Alcotest.(check int) "reference path unaffected" 16 (Machine.reg_int m2 2)
+
+(* Hit/miss accounting on a deterministic loop: 4 iterations of a
+   2-word loop plus the final ebreak fetch = 9 fetches over 3 distinct
+   words — 3 cold misses, 6 hits, nothing invalidated. *)
+let test_stats_accounting () =
+  let program =
+    Insn.
+      [
+        Op_imm (Add, 1, 1, 1); Branch (Ne, 1, 6, -4); Ebreak;
+      ]
+  in
+  let m, _ = boot (List.map Encode.encode program) in
+  Machine.set_reg_int m 6 4;
+  Decode_cache.reset_stats m.Machine.dcache;
+  run ~fast:true m;
+  let s = Machine.decode_stats m in
+  Alcotest.(check int) "misses = distinct words" 3 s.Decode_cache.misses;
+  Alcotest.(check int) "hits = refetches" 6 s.Decode_cache.hits;
+  Alcotest.(check int) "no invalidations" 0 s.Decode_cache.invalidations;
+  (* The reference path must not touch the cache at all. *)
+  let m2, _ = boot (List.map Encode.encode program) in
+  Machine.set_reg_int m2 6 4;
+  Decode_cache.reset_stats m2.Machine.dcache;
+  run ~fast:false m2;
+  let s2 = Machine.decode_stats m2 in
+  Alcotest.(check int) "reference path: no hits" 0 s2.Decode_cache.hits;
+  Alcotest.(check int) "reference path: no misses" 0 s2.Decode_cache.misses
+
+let suite =
+  [
+    Alcotest.test_case "self-modifying code re-decodes" `Quick
+      test_self_modifying;
+    Alcotest.test_case "loader patch through the bus invalidates" `Quick
+      test_loader_patch;
+    Alcotest.test_case "bus-bypass writes need an explicit flush" `Quick
+      test_bypass_needs_flush;
+    Alcotest.test_case "hit/miss/invalidation accounting" `Quick
+      test_stats_accounting;
+  ]
