@@ -1,11 +1,12 @@
 # Entry points for local use and CI.
 #
 # `make ci` is the gate: build, the full test suite (including the
-# differential oracle between Machine.step and Machine.step_fast), and
-# a reduced-workload run of the decode-cache benchmark, which exits
-# non-zero if the two dispatch paths diverge on any workload.  The
-# smoke bench writes BENCH_decode_cache_smoke.json; it is a divergence
-# gate, not a performance claim — use `make bench` for real numbers.
+# differential oracle between the reference, cached and block dispatch
+# paths), and reduced-workload runs of the decode-cache and block-exec
+# benchmarks, which exit non-zero if any dispatch path diverges on any
+# workload.  The smoke benches write BENCH_*_smoke.json; they are
+# divergence gates, not performance claims — use `make bench` for real
+# numbers.
 
 .PHONY: all build test bench bench-smoke ci clean
 
@@ -19,9 +20,11 @@ test: build
 
 bench: build
 	dune exec bench/main.exe -- decode_cache
+	dune exec bench/main.exe -- block_exec
 
 bench-smoke: build
 	dune exec bench/main.exe -- decode_cache smoke
+	dune exec bench/main.exe -- block_exec smoke
 
 ci: build test bench-smoke
 

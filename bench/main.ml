@@ -520,6 +520,150 @@ let decode_cache ?(smoke = false) () =
     exit 1
   end
 
+(* --- basic-block translation benchmark ----------------------------------- *)
+
+(* Three-way differential timing: the reference interpreter, the
+   decoded-instruction cache, and the basic-block translation cache with
+   its batched run loop.  All three must retire identical instruction
+   counts and reach bit-identical architectural state; the block path's
+   win over [step_fast] is pure dispatch-overhead savings (no per-step
+   interrupt check, no per-step cache probe, prebuilt PCC chain).
+   Writes BENCH_block_exec.json. *)
+
+let block_run dispatch m =
+  match Machine.run ~fuel:50_000_000 ~dispatch m with
+  | Machine.Step_halted, _ -> ()
+  | Machine.Step_waiting, _ -> failwith "block_exec: workload hit WFI"
+  | Machine.Step_double_fault, _ -> failwith "block_exec: double fault"
+  | (Machine.Step_ok | Machine.Step_trap _), _ ->
+      failwith "block_exec: workload ran out of fuel"
+
+let block_run_once ~mk dispatch =
+  let m = mk () in
+  let t0 = Sys.time () in
+  block_run dispatch m;
+  (Sys.time () -. t0, m)
+
+(* Interleaved min-of-5 triplets on fresh machines, for the same reasons
+   as [time_paths]. *)
+let time_three ~mk =
+  let finish best m =
+    {
+      pt_insns = m.Machine.minstret;
+      pt_seconds = best;
+      pt_ips = float_of_int m.Machine.minstret /. max 1e-9 best;
+      pt_hash = Machine.state_hash m;
+      pt_machine = m;
+    }
+  in
+  let paths =
+    [| Machine.Dispatch_ref; Machine.Dispatch_cached; Machine.Dispatch_block |]
+  in
+  let best = Array.make 3 infinity in
+  let last = Array.make 3 None in
+  for _ = 1 to 5 do
+    Array.iteri
+      (fun i d ->
+        let dt, m = block_run_once ~mk d in
+        if dt < best.(i) then best.(i) <- dt;
+        last.(i) <- Some m)
+      paths
+  done;
+  Array.init 3 (fun i -> finish best.(i) (Option.get last.(i)))
+
+let block_exec ?(smoke = false) () =
+  section
+    (if smoke then "block exec -- smoke (reduced workloads)"
+     else "block exec -- reference vs cached vs block dispatch");
+  let workloads =
+    [
+      ( "coremark",
+        fun () ->
+          Coremark.setup
+            ~iterations:(if smoke then 2 else 40)
+            (Core_model.config ~cheri:true ~load_filter:true Core_model.Ibex)
+      );
+      ( "alloc_bench",
+        fun () -> Alloc_bench.isa_setup ~rounds:(if smoke then 5 else 400) ()
+      );
+      ( "iot_app",
+        fun () -> Iot_app.isa_setup ~packets:(if smoke then 10 else 1500) ()
+      );
+    ]
+  in
+  Format.printf "%-12s %12s %13s %13s %13s %8s %8s %7s@." "workload" "insns"
+    "ref i/s" "cached i/s" "block i/s" "vs ref" "vs cach" "match";
+  let diverged = ref false in
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let p = time_three ~mk in
+        let r = p.(0) and c = p.(1) and b = p.(2) in
+        let ok =
+          r.pt_insns = c.pt_insns
+          && c.pt_insns = b.pt_insns
+          && r.pt_hash = c.pt_hash
+          && c.pt_hash = b.pt_hash
+        in
+        if not ok then begin
+          diverged := true;
+          Format.eprintf
+            "DIVERGENCE on %s: ref %d/%s cached %d/%s block %d/%s@." name
+            r.pt_insns r.pt_hash c.pt_insns c.pt_hash b.pt_insns b.pt_hash
+        end;
+        let vs_ref = b.pt_ips /. r.pt_ips in
+        let vs_cached = b.pt_ips /. c.pt_ips in
+        Format.printf "%-12s %12d %13.0f %13.0f %13.0f %7.2fx %7.2fx %7s@."
+          name r.pt_insns r.pt_ips c.pt_ips b.pt_ips vs_ref vs_cached
+          (if ok then "yes" else "NO");
+        (name, r, c, b, ok))
+      workloads
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"bench\": \"block_exec\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"workloads\": [\n" smoke);
+  List.iteri
+    (fun i (name, r, c, b, ok) ->
+      let bs = Machine.block_stats b.pt_machine in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S,\n\
+           \     \"reference\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f},\n\
+           \     \"cached\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f},\n\
+           \     \"block\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f,\n\
+           \               \"block_hits\": %d, \"block_misses\": %d, \
+            \"block_invalidations\": %d,\n\
+           \               \"block_aborts\": %d, \"blocks_filled\": %d, \
+            \"avg_block_len\": %.2f},\n\
+           \     \"speedup_vs_reference\": %.3f, \"speedup_vs_cached\": \
+            %.3f, \"state_match\": %b}%s\n"
+           name r.pt_insns r.pt_seconds r.pt_ips c.pt_insns c.pt_seconds
+           c.pt_ips b.pt_insns b.pt_seconds b.pt_ips
+           bs.Machine.block_hits bs.Machine.block_misses
+           bs.Machine.block_invalidations bs.Machine.block_aborts
+           bs.Machine.blocks_filled (Machine.avg_block_len bs)
+           (b.pt_ips /. r.pt_ips)
+           (b.pt_ips /. c.pt_ips)
+           ok
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let file =
+    if smoke then "BENCH_block_exec_smoke.json" else "BENCH_block_exec.json"
+  in
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." file;
+  if !diverged then begin
+    prerr_endline "block_exec: dispatch paths diverged";
+    exit 1
+  end
+
 (* --- driver -------------------------------------------------------------- *)
 
 let all () =
@@ -532,6 +676,7 @@ let all () =
   iot ();
   ablations ();
   decode_cache ();
+  block_exec ();
   micro ()
 
 let () =
@@ -547,10 +692,12 @@ let () =
   | [| _; "ablations" |] -> ablations ()
   | [| _; "decode_cache" |] -> decode_cache ()
   | [| _; "decode_cache"; "smoke" |] -> decode_cache ~smoke:true ()
+  | [| _; "block_exec" |] -> block_exec ()
+  | [| _; "block_exec"; "smoke" |] -> block_exec ~smoke:true ()
   | [| _; "micro" |] -> micro ()
   | _ ->
       prerr_endline
         "usage: main.exe \
          [table1|table2|table3|table4|fig5|fig6|iot|ablations|decode_cache \
-         [smoke]|micro]";
+         [smoke]|block_exec [smoke]|micro]";
       exit 2

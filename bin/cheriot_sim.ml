@@ -110,7 +110,7 @@ let iot_cmd =
 
 (* --- demo -------------------------------------------------------------- *)
 
-let demo trace =
+let demo trace dispatch =
   (* The compartment-isolation image from the examples, with optional
      instruction tracing. *)
   let open Cheriot_isa in
@@ -142,9 +142,9 @@ let demo trace =
   let m = t.Cheriot_rtos.Loader.machine in
   let result, steps =
     if trace then
-      Trace.run m ~fuel:10_000 ~f:(fun e ->
+      Trace.run m ~fuel:10_000 ~dispatch ~f:(fun e ->
           Format.printf "%a@." Trace.pp_entry e)
-    else Machine.run ~fuel:10_000 m
+    else Machine.run ~fuel:10_000 ~dispatch m
   in
   (match result with
   | Machine.Step_halted ->
@@ -160,10 +160,28 @@ let demo_cmd =
   let trace =
     Arg.(value & flag & info [ "trace" ] ~doc:"print every instruction")
   in
+  let dispatch =
+    let d =
+      Arg.enum
+        [
+          ("ref", Cheriot_isa.Machine.Dispatch_ref);
+          ("cached", Cheriot_isa.Machine.Dispatch_cached);
+          ("block", Cheriot_isa.Machine.Dispatch_block);
+        ]
+    in
+    Arg.(
+      value
+      & opt d Cheriot_isa.Machine.Dispatch_ref
+      & info [ "dispatch" ]
+          ~doc:
+            "execution machinery: ref (re-decode every step), cached \
+             (decoded-instruction cache), or block (basic-block \
+             translation cache)")
+  in
   Cmd.v
     (Cmd.info "demo"
        ~doc:"run a two-compartment demo through the machine-code switcher")
-    Term.(const demo $ trace)
+    Term.(const demo $ trace $ dispatch)
 
 let () =
   let info =

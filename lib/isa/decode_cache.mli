@@ -82,6 +82,42 @@ val invalidate_granule : 'a t -> int -> unit
 val flush : 'a t -> unit
 (** Drop every entry (loader rewrote code behind the bus's back). *)
 
+(** {1 Ranged entries — the basic-block layer}
+
+    A basic block translated at PC [p] covers the byte span of every
+    instruction it holds, so a store anywhere in that span must kill it
+    — not just a store to the granule of [p].  A [ranged] cache pairs
+    each slot with its span and turns the bus store snoop into a
+    bounded probe: a store granule can only intersect blocks whose
+    start PC lies within [max_span] bytes of it, so {!rkill_store}
+    probes those few candidate slots and nothing else.  A monotone window over all
+    live spans filters the common case (data-region stores) down to two
+    integer compares. *)
+
+type 'a ranged = {
+  rc : 'a t;  (** the underlying direct-mapped cache, keyed by start PC *)
+  los : int array;  (** per-slot span start (bytes, inclusive) *)
+  his : int array;  (** per-slot span end (exclusive); 0 = empty *)
+  max_span : int;
+  mutable span_lo : int;  (** union window over live spans *)
+  mutable span_hi : int;
+}
+(** Exposed, like {!t}, for the machine's hand-inlined hot-path probe. *)
+
+val ranged : ?size_log2:int -> max_span:int -> dummy:'a -> unit -> 'a ranged
+(** [max_span] is the largest [hi - lo] any entry may cover (a positive
+    multiple of 4); it bounds the store-snoop probe count. *)
+
+val rfill : 'a ranged -> slot:int -> pc:int -> lo:int -> hi:int -> 'a -> unit
+val rkill : 'a ranged -> int -> unit
+(** Kill one slot (counts an invalidation if it was live). *)
+
+val rkill_store : 'a ranged -> int -> unit
+(** [rkill_store t addr] kills every entry whose span intersects the
+    8-byte granule containing [addr] — the store-snoop hook. *)
+
+val rflush : 'a ranged -> unit
+
 (** {1 Accounting} *)
 
 val stats : 'a t -> stats

@@ -1,8 +1,12 @@
 open Cheriot_core
 module Bus = Cheriot_mem.Bus
+module Sram = Cheriot_mem.Sram
 module Revbits = Cheriot_mem.Revbits
 
 type mode = Cheriot | Rv32
+
+(** Which fetch/decode machinery drives execution. *)
+type dispatch = Dispatch_ref | Dispatch_cached | Dispatch_block
 
 type cheri_cause =
   | Cheri_bounds
@@ -131,6 +135,26 @@ type t = {
   mutable waiting : bool;
   mutable last_event : event;
   dcache : centry Decode_cache.t;
+  bcache : bentry Decode_cache.ranged;
+  mutable blocks_filled : int;
+  mutable insns_translated : int;  (* sum of fill-time block lengths *)
+  mutable block_aborts : int;
+      (* blocks abandoned mid-execution because one of their own stores
+         invalidated the translation (self-modifying code) *)
+  (* Resolved-SRAM window for the allocation-free data fast path:
+     in-window scalar accesses go straight to the byte array, skipping
+     the bus walk and its exception plumbing.  [fm_limit = 0] marks the
+     window invalid (no address satisfies [addr >= base && addr + size
+     <= 0]). *)
+  mutable fm_sram : Sram.t;
+  mutable fm_base : int;
+  mutable fm_limit : int;
+  (* Per-round retirement ring filled by [step_block] so the perf
+     harness and tracer can charge each retired instruction of a block
+     individually: parallel arrays of (copied) events and their PCs. *)
+  block_events : event array;
+  block_pcs : int array;
+  mutable block_ev_n : int;
 }
 
 (* A decode-cache entry carries a fetch "ticket": the machine mode and
@@ -152,7 +176,32 @@ and centry = {
          dummy. *)
 }
 
+(* A translated basic block: the decoded instructions of one
+   straight-line run of code, from a fetch target up to and including
+   the first control-flow or interrupt-posture-changing instruction
+   (or the length cap).  Like [centry], every per-instruction value the
+   hot loop needs — the [Some insn] event payload and the fall-through
+   PCC — is prebuilt at fill time, so executing a cached block
+   allocates nothing. *)
+and bentry = {
+  b_insns : Insn.t array;
+  b_opts : Insn.t option array;  (* [Some b_insns.(i)], built at fill *)
+  b_nexts : Capability.t option array;
+      (* fall-through PCC after instruction [i]: the fill-time
+         [next_pcc] chain.  Valid whenever the block ticket validates —
+         each link is a pure function of the ticket fields. *)
+  b_mode : mode;
+  b_pcc : Capability.t;  (* fetch ticket: the fill-time block-start PCC *)
+  b_start : int;  (* address of b_insns.(0) *)
+  b_len : int;
+}
+
 exception Trap of cause
+
+(* Blocks are capped at 16 instructions (64 bytes): long enough that
+   dispatch overhead amortises away, short enough that the store-snoop
+   probe in [Decode_cache.rkill_store] stays a handful of compares. *)
+let max_block_len = 16
 
 let create ?(mode = Cheriot) ?(load_filter = true) bus =
   let dcache =
@@ -167,9 +216,27 @@ let create ?(mode = Cheriot) ?(load_filter = true) bus =
         }
       ()
   in
+  let bcache =
+    Decode_cache.ranged ~max_span:(max_block_len * 4)
+      ~dummy:
+        {
+          b_insns = [||];
+          b_opts = [||];
+          b_nexts = [||];
+          b_mode = mode;
+          b_pcc = Capability.null;
+          b_start = -1;
+          b_len = 0;
+        }
+      ()
+  in
   (* Stores must kill stale decodes: self-modifying code and loader
-     patches through the bus re-decode on the next fetch. *)
-  Bus.on_store bus (Decode_cache.invalidate_granule dcache);
+     patches through the bus re-decode (and re-translate) on the next
+     fetch.  The block cache needs the ranged kill — a store anywhere in
+     a block's span stales it, not just one to its start granule. *)
+  Bus.on_store bus (fun g ->
+      Decode_cache.invalidate_granule dcache g;
+      Decode_cache.rkill_store bcache g);
   {
     regs = Array.make 16 Capability.null;
     pcc = Capability.root_executable;
@@ -194,6 +261,18 @@ let create ?(mode = Cheriot) ?(load_filter = true) bus =
     waiting = false;
     last_event = { no_event with ev_insn = None };
     dcache;
+    bcache;
+    blocks_filled = 0;
+    insns_translated = 0;
+    block_aborts = 0;
+    fm_sram = Sram.create ~base:0 ~size:8;
+    fm_base = 0;
+    fm_limit = 0;
+    block_events =
+      Array.init (max_block_len + 1) (fun _ ->
+          { no_event with ev_insn = None });
+    block_pcs = Array.make (max_block_len + 1) 0;
+    block_ev_n = 0;
   }
 
 (* regs.(0) is initialised to null and [set_reg] never writes it, so the
@@ -247,6 +326,71 @@ let check_access m ~cap ~ridx ~addr ~size ~store ~is_cap =
 let note_store m addr =
   if addr >= m.mshwmb && addr < m.mshwm then m.mshwm <- addr land lnot 7
 
+(* --- SRAM window fast path -------------------------------------------- *)
+
+(* Scalar data accesses overwhelmingly land in one SRAM region.  The
+   machine keeps that region's bounds in immediate fields and, when the
+   (already permission/alignment/range-checked) address fits, goes
+   straight to the byte array: no bus list walk, no option, no
+   exception-handler setup.  Observationally identical to [Bus.read]/
+   [Bus.write] — the access counter still advances and SRAM stores
+   still fire the snoops — and shared by every dispatch path. *)
+
+let refresh_window m ~size addr =
+  match Bus.sram_at m.bus ~size addr with
+  | Some s ->
+      m.fm_sram <- s;
+      m.fm_base <- Sram.base s;
+      m.fm_limit <- Sram.base s + Sram.size s;
+      true
+  | None -> false
+
+let data_read_slow m ~size addr =
+  if refresh_window m ~size addr then begin
+    Bus.note_access m.bus;
+    match size with
+    | 1 -> Sram.read8_u m.fm_sram addr
+    | 2 -> Sram.read16_u m.fm_sram addr
+    | _ -> Sram.read32_u m.fm_sram addr
+  end
+  else
+    try Bus.read m.bus ~width:size addr
+    with Bus.Bus_error _ -> raise (Trap Load_access_fault)
+
+let[@inline] data_read m ~size addr =
+  if addr >= m.fm_base && addr + size <= m.fm_limit then begin
+    Bus.note_access m.bus;
+    match size with
+    | 1 -> Sram.read8_u m.fm_sram addr
+    | 2 -> Sram.read16_u m.fm_sram addr
+    | _ -> Sram.read32_u m.fm_sram addr
+  end
+  else data_read_slow m ~size addr
+
+let data_write_slow m ~size addr v =
+  if refresh_window m ~size addr then begin
+    Bus.note_access m.bus;
+    (match size with
+    | 1 -> Sram.write8_u m.fm_sram addr v
+    | 2 -> Sram.write16_u m.fm_sram addr v
+    | _ -> Sram.write32_u m.fm_sram addr v);
+    Bus.snoop_store m.bus addr
+  end
+  else
+    try Bus.write m.bus ~width:size addr v
+    with Bus.Bus_error _ -> raise (Trap Store_access_fault)
+
+let[@inline] data_write m ~size addr v =
+  if addr >= m.fm_base && addr + size <= m.fm_limit then begin
+    Bus.note_access m.bus;
+    (match size with
+    | 1 -> Sram.write8_u m.fm_sram addr v
+    | 2 -> Sram.write16_u m.fm_sram addr v
+    | _ -> Sram.write32_u m.fm_sram addr v);
+    Bus.snoop_store m.bus addr
+  end
+  else data_write_slow m ~size addr v
+
 (* The effective address always comes from [rs1]'s address field; only
    the authorizing capability differs by mode (the register itself, or
    the implicit DDC).  Computed field-by-field at each call site so no
@@ -258,10 +402,7 @@ let do_load m ~ridx ~rs1 ~off ~width ~signed ~rd =
   let addr = (r.Capability.addr + off) land mask32 in
   let cap = match m.mode with Cheriot -> r | Rv32 -> m.ddc in
   check_access m ~cap ~ridx ~addr ~size ~store:false ~is_cap:false;
-  let v =
-    try Bus.read m.bus ~width:size addr
-    with Bus.Bus_error _ -> raise (Trap Load_access_fault)
-  in
+  let v = data_read m ~size addr in
   let v =
     if signed then
       match width with
@@ -279,8 +420,7 @@ let do_store m ~ridx ~rs1 ~off ~width ~rs2 =
   let addr = (r.Capability.addr + off) land mask32 in
   let cap = match m.mode with Cheriot -> r | Rv32 -> m.ddc in
   check_access m ~cap ~ridx ~addr ~size ~store:true ~is_cap:false;
-  (try Bus.write m.bus ~width:size addr (reg_int m rs2)
-   with Bus.Bus_error _ -> raise (Trap Store_access_fault));
+  data_write m ~size addr (reg_int m rs2);
   note_store m addr;
   size
 
@@ -603,18 +743,21 @@ let enter_trap m cause =
 
 (* --- fetch/execute ---------------------------------------------------- *)
 
-let fetch_check m pc =
-  if m.mode = Cheriot then begin
-    if not m.pcc.Capability.tag then
-      raise (Trap (Cheri_fault (Cheri_tag, 16)));
-    if Capability.is_sealed m.pcc then
+(* Pure in (mode, pcc, pc) — the block translator runs it against the
+   fill-time PCC chain, not the live machine PCC. *)
+let fetch_check_pcc mode pcc pc =
+  if mode = Cheriot then begin
+    if not pcc.Capability.tag then raise (Trap (Cheri_fault (Cheri_tag, 16)));
+    if Capability.is_sealed pcc then
       raise (Trap (Cheri_fault (Cheri_seal, 16)));
-    if not (Capability.has_perm m.pcc EX) then
+    if not (Capability.has_perm pcc EX) then
       raise (Trap (Cheri_fault (Cheri_permit_execute, 16)));
-    if not (Capability.in_bounds m.pcc ~size:4 pc) then
+    if not (Capability.in_bounds pcc ~size:4 pc) then
       raise (Trap (Cheri_fault (Cheri_bounds, 16)))
   end;
   if pc land 3 <> 0 then raise (Trap Illegal_instruction)
+
+let fetch_check m pc = fetch_check_pcc m.mode m.pcc pc
 
 let fetch_word m pc =
   try Bus.read m.bus ~width:4 pc
@@ -677,10 +820,9 @@ let[@inline always] ticket_valid m e =
    (the tag/seal tests almost always succeed right after a fetch and the
    fast-pathed representability check dominates); a plain program
    counter in Rv32 mode. *)
-let next_pcc m =
-  let p = m.pcc in
+let next_pcc_of mode p =
   let addr = (p.Capability.addr + 4) land mask32 in
-  match m.mode with
+  match mode with
   | Cheriot ->
       let ok =
         p.Capability.tag
@@ -690,6 +832,8 @@ let next_pcc m =
       in
       { p with Capability.addr; tag = ok }
   | Rv32 -> { p with Capability.addr }
+
+let next_pcc m = next_pcc_of m.mode m.pcc
 
 let next m = m.pcc <- next_pcc m
 
@@ -899,22 +1043,461 @@ let step_gen m ~cached =
 let step m = step_gen m ~cached:false
 let step_fast m = step_gen m ~cached:true
 
-let run ?(fuel = 10_000_000) ?(fast = false) m =
-  let step = if fast then step_fast else step in
-  let rec go n =
-    if n >= fuel then (Step_ok, n)
-    else
-      match step m with
-      | Step_ok | Step_trap _ -> go (n + 1)
-      | (Step_waiting | Step_halted | Step_double_fault) as r -> (r, n + 1)
-  in
-  go 0
+(* --- basic-block translation ------------------------------------------ *)
 
-(* --- decode cache management ------------------------------------------ *)
+(* A block may contain, as non-final entries, only instructions that
+   (when they do not trap — traps are handled at runtime) fall through
+   to PC+4 and leave the interrupt-delivery predicate
+   ([mie && interrupt_pending], i.e. mie/mtimecmp/mcycle/ext_interrupt/
+   waiting) untouched.  Everything below ends a block: the jumps and
+   Mret redirect the PCC, sentry Jalr and Mret toggle mie, Csr can
+   write mstatus/mtimecmp/mcycle, Wfi sets waiting, Ecall/Ebreak never
+   fall through.  Cspecialrw is fenced out of caution (system class).
+   With that invariant, checking interrupts only at block boundaries is
+   {e exactly} per-step equivalent — there is no reachable machine
+   state in which the reference interpreter would deliver an interrupt
+   between two instructions of the same block. *)
+let block_terminator (i : Insn.t) =
+  match i with
+  | Insn.Jal _ | Jalr _ | Branch _ | Mret | Ecall | Ebreak | Wfi | Csr _
+  | Cspecialrw _ ->
+      true
+  | _ -> false
+
+(* Fill-time fetch+decode under an explicit PCC.  Only SRAM-resident
+   words are translated: lookahead past the current PC must not replay
+   MMIO read side effects.  [None] means "this word cannot join a
+   block" — the caller cuts the block there (or, for the first word,
+   falls back to a single per-step step, which reproduces the exact
+   trap / MMIO-fetch behaviour of the reference path). *)
+let decode_at m pcc pc =
+  match fetch_check_pcc m.mode pcc pc with
+  | exception Trap _ -> None
+  | () -> (
+      match Bus.sram_at m.bus ~size:4 pc with
+      | None -> None
+      | Some s -> (
+          Bus.note_access m.bus;
+          match Encode.decode (Sram.read32 s pc) with
+          | None -> None (* illegal words are never cached *)
+          | Some i -> Some i))
+
+(* Translate the straight-line run starting at [pc0] (the current PC;
+   the caller just missed in the block cache).  Returns [None] when the
+   first word is untranslatable. *)
+let fill_block m pc0 =
+  match decode_at m m.pcc pc0 with
+  | None -> None
+  | Some first ->
+      let buf_i = Array.make max_block_len first in
+      let buf_o = Array.make max_block_len None in
+      let buf_n = Array.make max_block_len None in
+      let rec grow pcc i len =
+        (* invariant: [i] decoded at [pc0 + 4*len] under [pcc], with the
+           fetch-side checks passed *)
+        buf_i.(len) <- i;
+        buf_o.(len) <- Some i;
+        let nx = next_pcc_of m.mode pcc in
+        buf_n.(len) <- Some nx;
+        let len = len + 1 in
+        if block_terminator i || len >= max_block_len then len
+        else
+          (* [nx] may be untagged (unrepresentable advance) — then the
+             fetch check fails and the block simply ends here; the trap,
+             if ever reached, is taken by the per-step machinery. *)
+          match decode_at m nx (pc0 + (4 * len)) with
+          | Some i' -> grow nx i' len
+          | None -> len
+      in
+      let len = grow m.pcc first 0 in
+      let b =
+        {
+          b_insns = Array.sub buf_i 0 len;
+          b_opts = Array.sub buf_o 0 len;
+          b_nexts = Array.sub buf_n 0 len;
+          b_mode = m.mode;
+          b_pcc = m.pcc;
+          b_start = pc0;
+          b_len = len;
+        }
+      in
+      m.blocks_filled <- m.blocks_filled + 1;
+      m.insns_translated <- m.insns_translated + len;
+      let bc = m.bcache in
+      let s = Decode_cache.slot bc.Decode_cache.rc pc0 in
+      Decode_cache.rfill bc ~slot:s ~pc:pc0 ~lo:pc0 ~hi:(pc0 + (4 * len)) b;
+      Some b
+
+(* Same ticket discipline as [ticket_valid], with two differences.
+   The compare is used in {e both} modes: the prebuilt [b_nexts] chain
+   copies the fill-time PCC's metadata fields verbatim, so an Rv32 hit
+   must pin them too.  And the bounds compare falls back to {e value}
+   equality (three small-int compares): a re-derived but identical PCC
+   — e.g. after returning through a link sentry, which rebuilds the
+   bounds record — still hits, where a physical-only compare would
+   force a full re-translation of every block after every return.
+   Observational behaviour depends only on field values, so installing
+   the fill-time chain under a value-equal PCC is exact; and since the
+   chain {e is} the fill-time records, the very next compare is
+   physical again.  ([perms] is an immediate int and an executing PCC's
+   [otype] is the immediate [Otype.unsealed], so [==] already is value
+   equality for those.)  The cache's full-PC tag match pinned the
+   address. *)
+let[@inline always] block_ticket_valid m (b : bentry) =
+  b.b_mode = m.mode
+  &&
+  let tp = b.b_pcc and cp = m.pcc in
+  tp == cp
+  || ((tp.Capability.bounds == cp.Capability.bounds
+      || Bounds.equal tp.Capability.bounds cp.Capability.bounds)
+     && tp.Capability.tag = cp.Capability.tag
+     && tp.Capability.perms == cp.Capability.perms
+     && tp.Capability.otype == cp.Capability.otype
+     && tp.Capability.reserved = cp.Capability.reserved)
+
+(* Copy the live [last_event] (reused in place every instruction) into
+   the retirement ring so the perf harness can charge each instruction
+   of the round after it completes. *)
+let record_event m pc =
+  let n = m.block_ev_n in
+  let dst = Array.unsafe_get m.block_events n in
+  let src = m.last_event in
+  dst.ev_insn <- src.ev_insn;
+  dst.ev_taken_branch <- src.ev_taken_branch;
+  dst.ev_mem_bytes <- src.ev_mem_bytes;
+  dst.ev_is_cap_mem <- src.ev_is_cap_mem;
+  dst.ev_is_store <- src.ev_is_store;
+  dst.ev_trap <- src.ev_trap;
+  m.block_pcs.(n) <- pc;
+  m.block_ev_n <- n + 1
+
+(* Execute (a prefix of) a validated block.  The PCC sits at
+   [b.b_start]; the caller has established that no interrupt is
+   deliverable, and the body invariant (see [block_terminator]) keeps
+   that true across every non-final instruction.  Returns
+   [(result, retired)] where [retired] counts fuel units exactly as the
+   per-step [run] loop does (a trapping instruction consumes one).
+
+   Stops early when fuel runs out (the next round re-enters at the
+   fall-through PC — a new block forms there) or when a store from the
+   block invalidates the block itself: the remaining decoded entries
+   are stale, so execution abandons them and re-translates from the
+   live bytes.  Abandonment at {e block} granularity is conservative —
+   the store may have patched an already-executed word — but always
+   correct, and self-modifying code is rare. *)
+let exec_block m (b : bentry) ~fuel ~record =
+  let bc = m.bcache in
+  let slot = Decode_cache.slot bc.Decode_cache.rc b.b_start in
+  let n = if fuel < b.b_len then fuel else b.b_len in
+  let retired = ref 0 in
+  let result = ref Step_ok in
+  let stop = ref false in
+  (try
+     while not !stop && !retired < n do
+       let i = !retired in
+       let r =
+         exec m
+           (Array.unsafe_get b.b_insns i)
+           (Array.unsafe_get b.b_opts i)
+           (Array.unsafe_get b.b_nexts i)
+       in
+       incr retired;
+       if record then record_event m (b.b_start + (4 * i));
+       match r with
+       | Step_ok ->
+           if
+             m.last_event.ev_is_store
+             && Array.unsafe_get bc.Decode_cache.rc.Decode_cache.tags slot
+                <> b.b_start
+           then begin
+             m.block_aborts <- m.block_aborts + 1;
+             stop := true
+           end
+       | (Step_trap _ | Step_waiting | Step_halted | Step_double_fault) as r
+         ->
+           result := r;
+           stop := true
+     done
+   with Trap cause ->
+     m.last_event <- { no_event with ev_trap = Some cause };
+     incr retired;
+     if record then record_event m (b.b_start + (4 * (!retired - 1)));
+     result := enter_trap m cause);
+  (!result, !retired)
+
+(* Batched-run variant of [exec_block] (the [record:false] path): same
+   semantics, but PCC / minstret / retirement-event bookkeeping is
+   deferred across runs of simple instructions.  Two deferral classes:
+
+   - ALU (Lui, Op_imm, Op, Mul_div): only read and write integer
+     registers — they never consult [pcc], [minstret] or [last_event],
+     cannot trap (the ALU helpers are total — division by zero is
+     defined) and always fall through, so they run with the
+     architectural PC left stale.
+
+   - Integer Load / Store: can trap, so [sync] runs {e first} — at the
+     faulting instruction the architectural state (PCC for [mepcc],
+     minstret) is exact.  On success the epilogue (fall-through PCC
+     store, minstret bump, event stores) is deferred like an ALU op's.
+
+   Everything else [sync]s and takes the generic [exec] path (it may
+   read the PC or inspect CSRs).  [sync] replays the deferred
+   bookkeeping in one step: minstret jumps by the run length and the
+   PCC installs the prebuilt fall-through of the {e last} deferred
+   instruction — bitwise the value the per-step path would have left.
+   When the round {e ends} on a deferred run, the final [last_event] is
+   materialised from the last instruction (its event is a function of
+   the decoded instruction alone for every deferred class), so the
+   observable state matches the per-step path exactly. *)
+let exec_block_fast m (b : bentry) ~fuel =
+  let bc = m.bcache in
+  let slot = Decode_cache.slot bc.Decode_cache.rc b.b_start in
+  let tags = bc.Decode_cache.rc.Decode_cache.tags in
+  let n = if fuel < b.b_len then fuel else b.b_len in
+  let insns = b.b_insns and opts = b.b_opts and nexts = b.b_nexts in
+  let i = ref 0 in
+  let pending = ref 0 in
+  let result = ref Step_ok in
+  let stop = ref false in
+  let sync () =
+    if !pending > 0 then begin
+      m.minstret <- m.minstret + !pending;
+      (match Array.unsafe_get nexts (!i - 1) with
+      | Some c -> m.pcc <- c
+      | None -> ());
+      pending := 0
+    end
+  in
+  (try
+     while (not !stop) && !i < n do
+       (match Array.unsafe_get insns !i with
+       | Insn.Lui (rd, imm20) ->
+           set_reg_int m rd (imm20 lsl 12);
+           incr pending
+       | Insn.Op_imm (op, rd, rs1, imm) ->
+           set_reg_int m rd (alu_exec op (reg_int m rs1) (imm land mask32));
+           incr pending
+       | Insn.Op (op, rd, rs1, rs2) ->
+           set_reg_int m rd (alu_exec op (reg_int m rs1) (reg_int m rs2));
+           incr pending
+       | Insn.Mul_div (op, rd, rs1, rs2) ->
+           set_reg_int m rd (muldiv_exec op (reg_int m rs1) (reg_int m rs2));
+           incr pending
+       | Insn.Load { signed; width; rd; rs1; off } ->
+           sync ();
+           ignore (do_load m ~ridx:rs1 ~rs1 ~off ~width ~signed ~rd);
+           incr pending
+       | Insn.Store { width; rs2; rs1; off } ->
+           sync ();
+           ignore (do_store m ~ridx:rs1 ~rs1 ~off ~width ~rs2);
+           incr pending;
+           if Array.unsafe_get tags slot <> b.b_start then begin
+             m.block_aborts <- m.block_aborts + 1;
+             stop := true
+           end
+       | Insn.Clc (rd, rs1, off) ->
+           sync ();
+           do_clc m ~rd ~rs1 ~off;
+           incr pending
+       | Insn.Csc (rs2, rs1, off) ->
+           sync ();
+           do_csc m ~rs2 ~rs1 ~off;
+           incr pending;
+           if Array.unsafe_get tags slot <> b.b_start then begin
+             m.block_aborts <- m.block_aborts + 1;
+             stop := true
+           end
+       | ( Insn.Cincaddr _ | Insn.Cincaddrimm _ | Insn.Csetaddr _
+         | Insn.Csetbounds _ | Insn.Csetboundsexact _ | Insn.Csetboundsimm _
+         | Insn.Crrl _ | Insn.Cram _ | Insn.Candperm _ | Insn.Ccleartag _
+         | Insn.Cmove _ | Insn.Cseal _ | Insn.Cunseal _ | Insn.Cget _
+         | Insn.Csub _ | Insn.Ctestsubset _ | Insn.Csetequalexact _ ) as insn
+         ->
+           (* register-pure capability arithmetic: may trap (so [sync]
+              first) but never reads the PC or CSRs — [Cspecialrw] is
+              the one exception and takes the generic arm below *)
+           sync ();
+           exec_cap m insn;
+           incr pending
+       | insn -> (
+           sync ();
+           match
+             exec m insn
+               (Array.unsafe_get opts !i)
+               (Array.unsafe_get nexts !i)
+           with
+           | Step_ok ->
+               if
+                 m.last_event.ev_is_store
+                 && Array.unsafe_get tags slot <> b.b_start
+               then begin
+                 m.block_aborts <- m.block_aborts + 1;
+                 stop := true
+               end
+           | (Step_trap _ | Step_waiting | Step_halted | Step_double_fault)
+             as r ->
+               result := r;
+               stop := true));
+       incr i
+     done;
+     if !pending > 0 then begin
+       m.minstret <- m.minstret + !pending;
+       (match Array.unsafe_get nexts (!i - 1) with
+       | Some c -> m.pcc <- c
+       | None -> ());
+       pending := 0;
+       let ev = m.last_event in
+       (match Array.unsafe_get insns (!i - 1) with
+       | Insn.Load { width; _ } ->
+           ev.ev_mem_bytes <- (match width with Insn.B -> 1 | H -> 2 | W -> 4);
+           ev.ev_is_cap_mem <- false;
+           ev.ev_is_store <- false
+       | Insn.Store { width; _ } ->
+           ev.ev_mem_bytes <- (match width with Insn.B -> 1 | H -> 2 | W -> 4);
+           ev.ev_is_cap_mem <- false;
+           ev.ev_is_store <- true
+       | Insn.Clc _ ->
+           ev.ev_mem_bytes <- 8;
+           ev.ev_is_cap_mem <- true;
+           ev.ev_is_store <- false
+       | Insn.Csc _ ->
+           ev.ev_mem_bytes <- 8;
+           ev.ev_is_cap_mem <- true;
+           ev.ev_is_store <- true
+       | _ ->
+           ev.ev_mem_bytes <- 0;
+           ev.ev_is_cap_mem <- false;
+           ev.ev_is_store <- false);
+       ev.ev_insn <- Array.unsafe_get opts (!i - 1);
+       ev.ev_taken_branch <- false;
+       ev.ev_trap <- None
+     end
+   with Trap cause ->
+     (* only a non-deferred instruction can raise, and [sync] ran just
+        before it — the deferred window is always empty here *)
+     m.last_event <- { no_event with ev_trap = Some cause };
+     incr i;
+     result := enter_trap m cause);
+  (!result, !i)
+
+(* One round of the block dispatch path: interrupt/WFI handling exactly
+   as [step_gen], then up to [fuel] instructions of the block at the
+   PC.  The hand-inlined probe mirrors [fetch_cached]. *)
+let block_round m ~fuel ~record =
+  if m.waiting && interrupt_pending m then m.waiting <- false;
+  if m.waiting then (Step_waiting, 1)
+  else if m.mie && interrupt_pending m then begin
+    let cause =
+      if timer_pending m then Interrupt_timer else Interrupt_external
+    in
+    m.last_event <- { no_event with ev_trap = Some cause };
+    let r = enter_trap m cause in
+    if record then record_event m (Capability.address m.mepcc);
+    (r, 1)
+  end
+  else begin
+    let pc = Capability.address m.pcc in
+    let rc = m.bcache.Decode_cache.rc in
+    let s = (pc lsr 2) land rc.Decode_cache.mask in
+    if
+      Array.unsafe_get rc.Decode_cache.tags s = pc
+      && block_ticket_valid m (Array.unsafe_get rc.Decode_cache.payloads s)
+    then begin
+      rc.Decode_cache.hits <- rc.Decode_cache.hits + 1;
+      let b = Array.unsafe_get rc.Decode_cache.payloads s in
+      if record then exec_block m b ~fuel ~record
+      else exec_block_fast m b ~fuel
+    end
+    else begin
+      rc.Decode_cache.misses <- rc.Decode_cache.misses + 1;
+      match fill_block m pc with
+      | Some b ->
+          if record then exec_block m b ~fuel ~record
+          else exec_block_fast m b ~fuel
+      | None ->
+          (* untranslatable first word (MMIO-backed code, illegal word,
+             failing fetch checks): one exact per-step step *)
+          let r = step_fast m in
+          if record then record_event m pc;
+          (r, 1)
+    end
+  end
+
+(* [step_block]: the perf-harness / tracer entry point — one dispatch
+   round, with every retired instruction recorded in the ring
+   ([block_events]/[block_pcs], [block_ev_n] live entries). *)
+let step_block m =
+  m.block_ev_n <- 0;
+  let r, _ = block_round m ~fuel:max_block_len ~record:true in
+  r
+
+let run ?(fuel = 10_000_000) ?(fast = false) ?dispatch m =
+  let dispatch =
+    match dispatch with
+    | Some d -> d
+    | None -> if fast then Dispatch_cached else Dispatch_ref
+  in
+  match dispatch with
+  | Dispatch_block ->
+      (* Batched loop: fuel accounting is identical to the per-step
+         loop below — each retired instruction, delivered interrupt, or
+         trap consumes one unit, and a block is cut when the remaining
+         fuel runs out inside it. *)
+      let rec go n =
+        if n >= fuel then (Step_ok, n)
+        else
+          let r, used = block_round m ~fuel:(fuel - n) ~record:false in
+          let n = n + used in
+          match r with
+          | Step_ok | Step_trap _ -> go n
+          | (Step_waiting | Step_halted | Step_double_fault) as r -> (r, n)
+      in
+      go 0
+  | Dispatch_ref | Dispatch_cached ->
+      let step = if dispatch = Dispatch_cached then step_fast else step in
+      let rec go n =
+        if n >= fuel then (Step_ok, n)
+        else
+          match step m with
+          | Step_ok | Step_trap _ -> go (n + 1)
+          | (Step_waiting | Step_halted | Step_double_fault) as r -> (r, n + 1)
+      in
+      go 0
+
+(* --- decode/block cache management ------------------------------------ *)
 
 let decode_stats m = Decode_cache.stats m.dcache
 
-let flush_decode_cache m = Decode_cache.flush m.dcache
+(* Writers that bypass the bus must drop *both* translation layers. *)
+let flush_decode_cache m =
+  Decode_cache.flush m.dcache;
+  Decode_cache.rflush m.bcache
+
+type block_stats = {
+  block_hits : int;
+  block_misses : int;
+  block_invalidations : int;  (* blocks killed by store snoops *)
+  block_flushes : int;
+  blocks_filled : int;
+  insns_translated : int;  (* sum of fill-time block lengths *)
+  block_aborts : int;  (* self-modifying mid-block abandonments *)
+}
+
+let block_stats m =
+  let s = Decode_cache.stats m.bcache.Decode_cache.rc in
+  {
+    block_hits = s.Decode_cache.hits;
+    block_misses = s.Decode_cache.misses;
+    block_invalidations = s.Decode_cache.invalidations;
+    block_flushes = s.Decode_cache.flushes;
+    blocks_filled = m.blocks_filled;
+    insns_translated = m.insns_translated;
+    block_aborts = m.block_aborts;
+  }
+
+let avg_block_len (s : block_stats) =
+  if s.blocks_filled = 0 then 0.0
+  else float_of_int s.insns_translated /. float_of_int s.blocks_filled
 
 (* --- observational state hash ----------------------------------------- *)
 

@@ -14,6 +14,13 @@
 
 type mode = Cheriot | Rv32
 
+(** Which fetch/decode machinery drives execution: the re-decoding
+    reference interpreter, the decoded-instruction cache, or the
+    basic-block translation cache with its batched run loop.  All three
+    are observationally identical per retired instruction (enforced by
+    [test/test_differential.ml]). *)
+type dispatch = Dispatch_ref | Dispatch_cached | Dispatch_block
+
 (** CHERI exception causes (reported via [mcause = 28] with the cause and
     the faulting register index in [mtval], as in CHERI RISC-V). *)
 type cheri_cause =
@@ -92,6 +99,23 @@ type t = {
   dcache : centry Decode_cache.t;
       (** decoded-instruction cache backing {!step_fast}; invalidated by
           the bus store snoop *)
+  bcache : bentry Decode_cache.ranged;
+      (** basic-block translation cache backing the [Dispatch_block]
+          path; store snoops kill any block whose span the store hits *)
+  mutable blocks_filled : int;
+  mutable insns_translated : int;  (** sum of fill-time block lengths *)
+  mutable block_aborts : int;
+      (** blocks abandoned mid-execution after one of their own stores
+          invalidated the translation (self-modifying code) *)
+  mutable fm_sram : Cheriot_mem.Sram.t;
+      (** resolved-SRAM window for the allocation-free data fast path *)
+  mutable fm_base : int;
+  mutable fm_limit : int;  (** 0 = window invalid *)
+  block_events : event array;
+      (** retirement ring filled by {!step_block}: one copied event per
+          instruction of the last round *)
+  block_pcs : int array;  (** PCs parallel to [block_events] *)
+  mutable block_ev_n : int;  (** live entries in the ring *)
 }
 
 and centry = {
@@ -111,6 +135,24 @@ and centry = {
           validated hit installs this record directly instead of
           re-running the representability check.  [None] only in the
           cache's dummy entry. *)
+}
+
+(** A translated basic block: decoded instructions of one straight-line
+    run of code, ending at (and including) the first control-flow or
+    interrupt-posture-changing instruction, or at the length cap.  The
+    per-instruction event payloads and fall-through PCC chain are
+    prebuilt at fill time so a cached block executes without
+    allocating. *)
+and bentry = {
+  b_insns : Insn.t array;
+  b_opts : Insn.t option array;  (** [Some b_insns.(i)], built at fill *)
+  b_nexts : Cheriot_core.Capability.t option array;
+      (** fall-through PCC after instruction [i] *)
+  b_mode : mode;
+  b_pcc : Cheriot_core.Capability.t;
+      (** fetch ticket: the fill-time block-start PCC *)
+  b_start : int;  (** address of [b_insns.(0)] *)
+  b_len : int;
 }
 
 val create : ?mode:mode -> ?load_filter:bool -> Cheriot_mem.Bus.t -> t
@@ -147,18 +189,52 @@ val step_fast : t -> result
     through the bus invalidate stale entries; code rewritten behind the
     bus's back (direct SRAM writes) requires {!flush_decode_cache}. *)
 
-val run : ?fuel:int -> ?fast:bool -> t -> result * int
+val step_block : t -> result
+(** One round of the basic-block dispatch path: deliver a pending
+    interrupt / WFI wake exactly as {!step}, or execute the (cached or
+    freshly translated) basic block at the PC — up to {!max_block_len}
+    instructions.  Every retired instruction of the round is recorded
+    in the [block_events]/[block_pcs] ring ([block_ev_n] live entries)
+    so the perf harness can charge each one individually.  Interrupts
+    are only checked between rounds; block formation guarantees no
+    instruction inside a block can change the delivery predicate, so
+    this is exactly per-step equivalent. *)
+
+val max_block_len : int
+(** Upper bound on instructions per translated block (16). *)
+
+val run : ?fuel:int -> ?fast:bool -> ?dispatch:dispatch -> t -> result * int
 (** Step until halt/double-fault/waiting or [fuel] (default 10M)
     instructions; returns the final result and instructions retired.
-    Traps are not stopping events (the handler runs).  [fast] selects
-    {!step_fast} dispatch (default false: reference path). *)
+    Traps are not stopping events (the handler runs).  [dispatch]
+    selects the execution machinery (default [Dispatch_ref]; the legacy
+    [~fast:true] is [Dispatch_cached]).  [Dispatch_block] runs the
+    batched block loop: fuel accounting is identical — each retired
+    instruction, delivered interrupt or trap costs one unit, and a
+    block is cut when the remaining fuel runs out inside it, so chunked
+    runs resume exactly where a per-step run would. *)
 
 val decode_stats : t -> Decode_cache.stats
 (** Hit/miss/invalidation counters of the decoded-instruction cache. *)
 
+type block_stats = {
+  block_hits : int;
+  block_misses : int;
+  block_invalidations : int;  (** blocks killed by store snoops *)
+  block_flushes : int;
+  blocks_filled : int;
+  insns_translated : int;  (** sum of fill-time block lengths *)
+  block_aborts : int;  (** self-modifying mid-block abandonments *)
+}
+
+val block_stats : t -> block_stats
+val avg_block_len : block_stats -> float
+(** Mean fill-time block length ([insns_translated / blocks_filled]). *)
+
 val flush_decode_cache : t -> unit
-(** Drop every cached decode — required after rewriting code with direct
-    SRAM writes that bypass the bus store snoop (e.g. [Asm.load]). *)
+(** Drop every cached decode and translated block — required after
+    rewriting code with direct SRAM writes that bypass the bus store
+    snoop (e.g. [Asm.load]). *)
 
 val state_hash : t -> string
 (** Hex digest of all architecturally visible state: registers and tags,

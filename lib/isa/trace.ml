@@ -25,27 +25,83 @@ let pp_entry fmt e =
   | None -> Format.fprintf fmt "%8d  %8d  0x%08x  <no retire>" e.tr_index e.tr_cycles e.tr_pc);
   pp_result fmt e.tr_result
 
-(** Step [m] up to [fuel] instructions, calling [f] per step with a
-    trace entry.  Returns the final result and step count. *)
-let run ?(fuel = 1_000_000) m ~f =
-  let rec go i =
-    if i >= fuel then (Machine.Step_ok, i)
-    else begin
-      let pc = Capability.address m.Machine.pcc in
-      let r = Machine.step m in
-      f
-        {
-          tr_index = i;
-          tr_pc = pc;
-          tr_insn = m.Machine.last_event.Machine.ev_insn;
-          tr_result = r;
-          tr_cycles = m.Machine.mcycle;
-        };
-      match r with
-      | Machine.Step_ok | Machine.Step_trap _ -> go (i + 1)
-      | Machine.Step_waiting | Machine.Step_halted | Machine.Step_double_fault
-        ->
-          (r, i + 1)
-    end
-  in
-  go 0
+(** Step [m] up to [fuel] instructions, calling [f] per retired
+    instruction with a trace entry.  Returns the final result and step
+    count.  [dispatch] picks the execution machinery; the block path
+    emits one entry per instruction of each executed block (from the
+    machine's retirement ring), so the rendered trace is the same
+    stream the reference path produces. *)
+let run ?(fuel = 1_000_000) ?(dispatch = Machine.Dispatch_ref) m ~f =
+  match dispatch with
+  | Machine.Dispatch_ref | Machine.Dispatch_cached ->
+      let step =
+        match dispatch with
+        | Machine.Dispatch_cached -> Machine.step_fast
+        | _ -> Machine.step
+      in
+      let rec go i =
+        if i >= fuel then (Machine.Step_ok, i)
+        else begin
+          let pc = Capability.address m.Machine.pcc in
+          let r = step m in
+          f
+            {
+              tr_index = i;
+              tr_pc = pc;
+              tr_insn = m.Machine.last_event.Machine.ev_insn;
+              tr_result = r;
+              tr_cycles = m.Machine.mcycle;
+            };
+          match r with
+          | Machine.Step_ok | Machine.Step_trap _ -> go (i + 1)
+          | Machine.Step_waiting | Machine.Step_halted
+          | Machine.Step_double_fault ->
+              (r, i + 1)
+        end
+      in
+      go 0
+  | Machine.Dispatch_block ->
+      let rec go i =
+        if i >= fuel then (Machine.Step_ok, i)
+        else begin
+          let pc = Capability.address m.Machine.pcc in
+          let r = Machine.step_block m in
+          let n = m.Machine.block_ev_n in
+          let i =
+            if n = 0 then begin
+              (* a round that retired nothing (WFI idle) *)
+              f
+                {
+                  tr_index = i;
+                  tr_pc = pc;
+                  tr_insn = None;
+                  tr_result = r;
+                  tr_cycles = m.Machine.mcycle;
+                };
+              i + 1
+            end
+            else begin
+              for k = 0 to n - 1 do
+                f
+                  {
+                    tr_index = i + k;
+                    tr_pc = m.Machine.block_pcs.(k);
+                    tr_insn = m.Machine.block_events.(k).Machine.ev_insn;
+                    (* intermediate instructions of a block all retired
+                       normally; only the round's last entry carries the
+                       round result *)
+                    tr_result = (if k = n - 1 then r else Machine.Step_ok);
+                    tr_cycles = m.Machine.mcycle;
+                  }
+              done;
+              i + n
+            end
+          in
+          match r with
+          | Machine.Step_ok | Machine.Step_trap _ -> go i
+          | Machine.Step_waiting | Machine.Step_halted
+          | Machine.Step_double_fault ->
+              (r, i)
+        end
+      in
+      go 0

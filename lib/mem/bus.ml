@@ -31,11 +31,15 @@ let revbits t = t.revbits
 let srams t =
   List.sort (fun a b -> compare (Sram.base a) (Sram.base b)) t.srams
 
-let sram_at t addr =
+(* The full access width matters: a multi-byte access starting on the
+   last byte(s) of an SRAM must not be routed to it (it would straddle
+   the region's end) — it falls through to the device match / bus
+   error, exactly as unbacked addresses do. *)
+let sram_at t ~size addr =
   match t.mru_sram with
-  | Some s when Sram.in_range s ~addr ~size:1 -> t.mru_sram
+  | Some s when Sram.in_range s ~addr ~size -> t.mru_sram
   | _ ->
-      let r = List.find_opt (fun s -> Sram.in_range s ~addr ~size:1) t.srams in
+      let r = List.find_opt (fun s -> Sram.in_range s ~addr ~size) t.srams in
       (match r with Some _ -> t.mru_sram <- r | None -> ());
       r
 
@@ -44,11 +48,16 @@ let device_at t addr =
     (fun d -> addr >= d.Mmio.dev_base && addr < d.Mmio.dev_base + d.dev_size)
     t.devices
 
-let snoop t addr = List.iter (fun f -> f (addr land lnot 7)) t.store_snoops
+(* Snoops watch SRAM granules only (revoker store-race, decode- and
+   block-cache invalidation); MMIO device state is never cached, so
+   device writes must not fire them. *)
+let snoop_store t addr = List.iter (fun f -> f (addr land lnot 7)) t.store_snoops
+
+let note_access t = t.accesses <- t.accesses + 1
 
 let read t ~width addr =
   t.accesses <- t.accesses + 1;
-  match sram_at t addr with
+  match sram_at t ~size:width addr with
   | Some s -> (
       match width with
       | 1 -> Sram.read8 s addr
@@ -62,31 +71,31 @@ let read t ~width addr =
 
 let write t ~width addr v =
   t.accesses <- t.accesses + 1;
-  (match sram_at t addr with
-  | Some s -> (
-      match width with
+  match sram_at t ~size:width addr with
+  | Some s ->
+      (match width with
       | 1 -> Sram.write8 s addr v
       | 2 -> Sram.write16 s addr v
       | 4 -> Sram.write32 s addr v
-      | _ -> invalid_arg "Bus.write: width")
+      | _ -> invalid_arg "Bus.write: width");
+      snoop_store t addr
   | None -> (
       match device_at t addr with
       | Some d when width = 4 -> d.Mmio.write32 (addr - d.Mmio.dev_base) v
-      | Some _ | None -> raise (Bus_error addr)));
-  snoop t addr
+      | Some _ | None -> raise (Bus_error addr))
 
 let read_cap t addr =
   t.accesses <- t.accesses + 1;
-  match sram_at t addr with
+  match sram_at t ~size:8 addr with
   | Some s -> Sram.read_cap s addr
   | None -> raise (Bus_error addr)
 
 let write_cap t addr v =
   t.accesses <- t.accesses + 1;
-  (match sram_at t addr with
+  (match sram_at t ~size:8 addr with
   | Some s -> Sram.write_cap s addr v
   | None -> raise (Bus_error addr));
-  snoop t addr
+  snoop_store t addr
 
 let on_store t f = t.store_snoops <- f :: t.store_snoops
 let data_accesses t = t.accesses

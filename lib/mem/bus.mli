@@ -16,8 +16,10 @@ val set_revbits : t -> Revbits.t -> unit
 
 val revbits : t -> Revbits.t option
 
-val sram_at : t -> int -> Sram.t option
-(** The SRAM region containing an address, if any. *)
+val sram_at : t -> size:int -> int -> Sram.t option
+(** The SRAM region containing the full [size]-byte access starting at
+    an address, if any.  An access that begins inside an SRAM but runs
+    off its end matches nothing — it must fault, not be clipped. *)
 
 val srams : t -> Sram.t list
 (** All SRAM regions on the bus, ordered by base address. *)
@@ -36,8 +38,26 @@ val write_cap : t -> int -> bool * int64 -> unit
 
 val on_store : t -> (int -> unit) -> unit
 (** Register a callback invoked with the (granule-aligned) address of
-    every store; the background revoker uses it to re-load in-flight
-    words that the main pipeline overwrote. *)
+    every SRAM store; the background revoker uses it to re-load
+    in-flight words that the main pipeline overwrote, and the
+    decode/block caches use it to drop stale translations.  MMIO device
+    writes do not fire snoops — device state is never cached. *)
+
+(** {1 Window fast path}
+
+    The machine resolves an SRAM once ({!sram_at}), keeps the region's
+    bounds in mutable fields, and performs subsequent in-window accesses
+    directly on the SRAM — no list walk, no option, no allocation.  The
+    two hooks below keep that path observationally identical to
+    {!read}/{!write}: the access counter still advances and SRAM stores
+    still snoop. *)
+
+val note_access : t -> unit
+(** Count one data-side access made outside {!read}/{!write}. *)
+
+val snoop_store : t -> int -> unit
+(** Fire the store snoops for an SRAM store performed outside
+    {!write}/{!write_cap} (granule-aligns the address itself). *)
 
 (** {1 Accounting} *)
 

@@ -48,6 +48,30 @@ let clear_microtags_for_write t addr len =
     microtag_set t half_idx false
   done
 
+(* Unchecked variants for the machine's resolved-window fast path: the
+   caller has already proved the access in range and aligned (the window
+   containment test subsumes [check]), so these go straight to the byte
+   buffer.  Writes still clear micro-tags — that part is architectural,
+   not a check. *)
+
+let read8_u t addr = Char.code (Bytes.unsafe_get t.data (addr - t.base))
+let read16_u t addr = Bytes.get_uint16_le t.data (addr - t.base)
+
+let read32_u t addr =
+  Int32.to_int (Bytes.get_int32_le t.data (addr - t.base)) land 0xFFFF_FFFF
+
+let write8_u t addr v =
+  Bytes.unsafe_set t.data (addr - t.base) (Char.unsafe_chr (v land 0xff));
+  clear_microtags_for_write t addr 1
+
+let write16_u t addr v =
+  Bytes.set_uint16_le t.data (addr - t.base) (v land 0xffff);
+  clear_microtags_for_write t addr 2
+
+let write32_u t addr v =
+  Bytes.set_int32_le t.data (addr - t.base) (Int32.of_int v);
+  clear_microtags_for_write t addr 4
+
 let read8 t addr =
   check t addr 1 1;
   Char.code (Bytes.get t.data (addr - t.base))

@@ -29,6 +29,23 @@ val in_range : t -> addr:int -> size:int -> bool
 val read8 : t -> int -> int
 val read16 : t -> int -> int
 val read32 : t -> int -> int
+
+(** {2 Unchecked window access}
+
+    For callers that already hold a resolved window over this SRAM and
+    have proved the access in range and aligned (the emulator's
+    within-block memory fast path): no range or alignment check, no
+    allocation.  Out-of-window use is undefined (may read garbage or
+    corrupt neighbouring bytes) — never call these on an address you
+    have not window-tested.  Writes still clear the micro-tags of the
+    granule halves they touch, exactly like the checked variants. *)
+
+val read8_u : t -> int -> int
+val read16_u : t -> int -> int
+val read32_u : t -> int -> int
+val write8_u : t -> int -> int -> unit
+val write16_u : t -> int -> int -> unit
+val write32_u : t -> int -> int -> unit
 val write8 : t -> int -> int -> unit
 val write16 : t -> int -> int -> unit
 val write32 : t -> int -> int -> unit

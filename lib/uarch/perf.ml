@@ -1,7 +1,7 @@
 module Machine = Cheriot_isa.Machine
 module Decode_cache = Cheriot_isa.Decode_cache
 
-type dispatch = Reference | Cached
+type dispatch = Reference | Cached | Block
 
 type stats = {
   cycles : int;
@@ -11,6 +11,10 @@ type stats = {
   decode_hits : int;
   decode_misses : int;
   decode_invalidations : int;
+  block_hits : int;
+  block_misses : int;
+  block_invalidations : int;
+  avg_block_len : float;
 }
 
 let cpi s =
@@ -22,7 +26,12 @@ let pp_stats fmt s =
     s.cycles s.instructions (cpi s) s.mem_busy s.traps;
   if s.decode_hits + s.decode_misses > 0 then
     Format.fprintf fmt ", decode$ %d/%d hits (%d inval)" s.decode_hits
-      (s.decode_hits + s.decode_misses) s.decode_invalidations
+      (s.decode_hits + s.decode_misses) s.decode_invalidations;
+  if s.block_hits + s.block_misses > 0 then
+    Format.fprintf fmt ", block$ %d/%d hits (%d inval, avg len %.1f)"
+      s.block_hits
+      (s.block_hits + s.block_misses)
+      s.block_invalidations s.avg_block_len
 
 type t = {
   machine : Machine.t;
@@ -41,6 +50,10 @@ let zero_stats =
     decode_hits = 0;
     decode_misses = 0;
     decode_invalidations = 0;
+    block_hits = 0;
+    block_misses = 0;
+    block_invalidations = 0;
+    avg_block_len = 0.0;
   }
 
 let create ?revoker ?(dispatch = Reference) ~params machine =
@@ -62,6 +75,7 @@ let charge t ev =
       done
   | None -> ());
   let dc = Machine.decode_stats t.machine in
+  let bs = Machine.block_stats t.machine in
   t.stats <-
     {
       cycles = t.stats.cycles + cycles;
@@ -74,24 +88,63 @@ let charge t ev =
       decode_hits = dc.Decode_cache.hits;
       decode_misses = dc.Decode_cache.misses;
       decode_invalidations = dc.Decode_cache.invalidations;
+      block_hits = bs.Machine.block_hits;
+      block_misses = bs.Machine.block_misses;
+      block_invalidations = bs.Machine.block_invalidations;
+      avg_block_len = Machine.avg_block_len bs;
     }
 
+(* WFI idle: one cycle passes, fully available to the revoker. *)
+let idle_cycle t =
+  t.machine.Machine.mcycle <- t.machine.Machine.mcycle + 1;
+  (match t.revoker with Some rv -> Revoker.tick rv | None -> ());
+  t.stats <- { t.stats with cycles = t.stats.cycles + 1 }
+
 let step t =
-  let r =
-    match t.dispatch with
-    | Reference -> Machine.step t.machine
-    | Cached -> Machine.step_fast t.machine
-  in
-  (match r with
-  | Machine.Step_waiting ->
-      (* WFI idle: one cycle passes, fully available to the revoker. *)
-      t.machine.Machine.mcycle <- t.machine.Machine.mcycle + 1;
-      (match t.revoker with Some rv -> Revoker.tick rv | None -> ());
-      t.stats <- { t.stats with cycles = t.stats.cycles + 1 }
-  | Machine.Step_ok | Machine.Step_trap _ | Machine.Step_halted
-  | Machine.Step_double_fault ->
-      charge t t.machine.Machine.last_event);
-  r
+  match t.dispatch with
+  | Reference | Cached ->
+      let r =
+        match t.dispatch with
+        | Reference -> Machine.step t.machine
+        | _ -> Machine.step_fast t.machine
+      in
+      (match r with
+      | Machine.Step_waiting -> idle_cycle t
+      | Machine.Step_ok | Machine.Step_trap _ | Machine.Step_halted
+      | Machine.Step_double_fault ->
+          charge t t.machine.Machine.last_event);
+      r
+  | Block ->
+      let m = t.machine in
+      (* Exactness guard: charging advances [mcycle] per instruction,
+         so with interrupts enabled and the timer armed a comparator
+         crossing could become deliverable {e between} two
+         instructions of a block — a boundary the block path does not
+         check.  Fall back to exact per-step cached dispatch for those
+         (rare, interrupt-heavy) stretches. *)
+      if m.Machine.mie && m.Machine.mtimecmp <> 0 then begin
+        let r = Machine.step_fast m in
+        (match r with
+        | Machine.Step_waiting -> idle_cycle t
+        | _ -> charge t m.Machine.last_event);
+        r
+      end
+      else begin
+        let r = Machine.step_block m in
+        (* A round ending in [Step_waiting] retired its instructions
+           (if any) and then hit WFI: charge the retirements, then one
+           idle cycle for the wait itself — exactly what the per-step
+           loop does. *)
+        let n = m.Machine.block_ev_n in
+        let to_charge =
+          match r with Machine.Step_waiting -> n - 1 | _ -> n
+        in
+        for i = 0 to to_charge - 1 do
+          charge t m.Machine.block_events.(i)
+        done;
+        (match r with Machine.Step_waiting -> idle_cycle t | _ -> ());
+        r
+      end
 
 let run ?(fuel = 50_000_000) t =
   let wake_source () =

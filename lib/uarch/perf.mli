@@ -4,10 +4,15 @@
 
 (** Which fetch/decode path drives the machine.  [Reference] re-decodes
     every instruction ([Machine.step]); [Cached] runs from the
-    decoded-instruction cache ([Machine.step_fast]).  Both produce
-    identical architectural traces and cycle counts — the cache is a
-    simulator-speed optimization, invisible to the modelled hardware. *)
-type dispatch = Reference | Cached
+    decoded-instruction cache ([Machine.step_fast]); [Block] runs whole
+    translated basic blocks ([Machine.step_block]), charging each
+    retired instruction from the block's event ring — and falls back to
+    per-step cached dispatch whenever interrupts are enabled with the
+    timer armed, where a mid-block [mcycle] comparator crossing could
+    otherwise be observable.  All three produce identical architectural
+    traces and cycle counts — simulator-speed optimizations, invisible
+    to the modelled hardware. *)
+type dispatch = Reference | Cached | Block
 
 type stats = {
   cycles : int;
@@ -17,6 +22,10 @@ type stats = {
   decode_hits : int;  (** decoded-instruction cache hits (cumulative) *)
   decode_misses : int;
   decode_invalidations : int;  (** entries killed by store snoops *)
+  block_hits : int;  (** block-cache hits (cumulative) *)
+  block_misses : int;
+  block_invalidations : int;  (** blocks killed by store snoops *)
+  avg_block_len : float;  (** mean fill-time block length *)
 }
 
 val cpi : stats -> float

@@ -1,0 +1,238 @@
+(* Basic-block translation cache regressions.
+
+   The block dispatch path translates straight-line runs of decoded
+   instructions once and replays them with interrupt checks only at
+   block boundaries and bookkeeping deferred across simple
+   instructions.  These tests pin the parts the differential fuzzers
+   are unlikely to hit deterministically: block formation and stats
+   accounting, self-modifying-code abandonment mid-block, fuel-exact
+   cutting, and the invalidation channel (SRAM stores invalidate,
+   device writes and bus-bypass writes do not). *)
+
+open Cheriot_core
+open Cheriot_isa
+module Sram = Cheriot_mem.Sram
+module Bus = Cheriot_mem.Bus
+module Mmio = Cheriot_mem.Mmio
+
+let code_base = 0x1_0000
+let code_size = 0x400
+
+let boot ?(device = false) words =
+  let bus = Bus.create () in
+  let code = Sram.create ~base:code_base ~size:code_size in
+  Bus.add_sram bus code;
+  if device then
+    Bus.add_device bus (fst (Mmio.ram_backed ~name:"dev" ~base:0x9000 ~size:16));
+  let m = Machine.create bus in
+  List.iteri (fun i w -> Sram.write32 code (code_base + (4 * i)) w) words;
+  Machine.flush_decode_cache m;
+  m.Machine.pcc <-
+    Capability.set_bounds
+      (Capability.with_address Capability.root_executable code_base)
+      ~length:code_size ~exact:false;
+  (m, code)
+
+let result_name = function
+  | Machine.Step_ok -> "ok"
+  | Machine.Step_trap _ -> "trap"
+  | Machine.Step_waiting -> "waiting"
+  | Machine.Step_halted -> "halted"
+  | Machine.Step_double_fault -> "double fault"
+
+let run_block m =
+  match Machine.run ~dispatch:Machine.Dispatch_block m with
+  | Machine.Step_halted, n -> n
+  | r, _ -> Alcotest.failf "did not halt: %s" (result_name r)
+
+let reset m =
+  m.Machine.pcc <- Capability.with_address m.Machine.pcc code_base;
+  Machine.set_reg m 1 Capability.null;
+  Machine.set_reg m 2 Capability.null
+
+(* A 3-word counting loop (4 iterations) plus the halt: the loop body
+   re-executes from the cache, so the block path must show refills only
+   for the distinct blocks and hits for every re-entry. *)
+let loop_program = Insn.[ Op_imm (Add, 1, 1, 1); Branch (Ne, 1, 6, -4); Ebreak ]
+
+let test_formation_and_stats () =
+  let mk () =
+    let m, _ = boot (List.map Encode.encode loop_program) in
+    Machine.set_reg_int m 6 4;
+    m
+  in
+  let ref_m = mk () in
+  let r_ref, n_ref = Machine.run ~dispatch:Machine.Dispatch_ref ref_m in
+  Alcotest.(check bool) "reference halts" true (r_ref = Machine.Step_halted);
+  let m = mk () in
+  let n_blk = run_block m in
+  Alcotest.(check int) "same retired count" n_ref n_blk;
+  Alcotest.(check int) "same minstret" ref_m.Machine.minstret
+    m.Machine.minstret;
+  Alcotest.(check string) "same state hash" (Machine.state_hash ref_m)
+    (Machine.state_hash m);
+  let s = Machine.block_stats m in
+  (* blocks: [add; bne] at the loop head and [ebreak] after it *)
+  Alcotest.(check int) "two distinct blocks" 2 s.Machine.blocks_filled;
+  Alcotest.(check int) "cold misses only" 2 s.Machine.block_misses;
+  Alcotest.(check int) "re-entries hit" 3 s.Machine.block_hits;
+  Alcotest.(check bool) "multi-instruction blocks" true
+    (Machine.avg_block_len s > 1.0);
+  Alcotest.(check int) "nothing invalidated" 0 s.Machine.block_invalidations;
+  (* the reference path must leave the block cache untouched *)
+  let s_ref = Machine.block_stats ref_m in
+  Alcotest.(check int) "reference path: no block activity" 0
+    (s_ref.Machine.block_hits + s_ref.Machine.block_misses
+   + s_ref.Machine.blocks_filled)
+
+(* Straight-line code longer than [max_block_len] splits at the length
+   cap; a terminator in the middle splits there. *)
+let test_block_boundaries () =
+  let n_alu = Machine.max_block_len + 4 in
+  let program =
+    List.init n_alu (fun _ -> Insn.Op_imm (Add, 1, 1, 1)) @ [ Insn.Ebreak ]
+  in
+  let m, _ = boot (List.map Encode.encode program) in
+  let _ = run_block m in
+  let s = Machine.block_stats m in
+  Alcotest.(check int) "length cap splits the run" 2 s.Machine.blocks_filled;
+  Alcotest.(check int) "every word translated once" (n_alu + 1)
+    s.Machine.insns_translated
+
+(* Self-modifying code where the store patches a {e later} word of the
+   block it is itself part of.  The snoop invalidates the block
+   mid-execution; the executor must notice (its remaining decoded
+   entries are stale), abandon the rest of the block and re-translate,
+   so the patched semantics take effect exactly as on the reference
+   path.  Word 2 is patched from `add c2,c2,1` to `add c2,c2,16`
+   {e before} it executes: final c2 must be 16, not 1. *)
+let test_self_modifying_abandon () =
+  let program =
+    Insn.
+      [
+        Store { width = W; rs2 = 5; rs1 = 4; off = 8 };
+        (* word 0: patch word 2 *)
+        Op_imm (Add, 1, 1, 1);
+        (* word 1: filler inside the same block *)
+        Op_imm (Add, 2, 2, 1);
+        (* word 2: the patch target *)
+        Ebreak;
+      ]
+  in
+  let mk () =
+    let m, _ = boot (List.map Encode.encode program) in
+    Machine.set_reg m 4
+      (Capability.set_bounds
+         (Capability.with_address Capability.root_mem_rw code_base)
+         ~length:code_size ~exact:false);
+    Machine.set_reg_int m 5 (Encode.encode (Insn.Op_imm (Add, 2, 2, 16)));
+    m
+  in
+  let ref_m = mk () in
+  let _ = Machine.run ~dispatch:Machine.Dispatch_ref ref_m in
+  Alcotest.(check int) "reference sees the patch" 16 (Machine.reg_int ref_m 2);
+  let m = mk () in
+  let _ = run_block m in
+  Alcotest.(check int) "block path sees the patch" 16 (Machine.reg_int m 2);
+  Alcotest.(check string) "same state hash" (Machine.state_hash ref_m)
+    (Machine.state_hash m);
+  let s = Machine.block_stats m in
+  Alcotest.(check bool) "the block was abandoned mid-execution" true
+    (s.Machine.block_aborts >= 1);
+  Alcotest.(check bool) "the store invalidated the block" true
+    (s.Machine.block_invalidations >= 1)
+
+(* Fuel-exact cutting: driving the block path in fuel chunks of every
+   small size must retire exactly the reference count and land in the
+   identical final state — blocks are cut mid-execution when fuel runs
+   out and resumed at the fall-through PC. *)
+let test_fuel_cutting () =
+  let mk () =
+    let m, _ = boot (List.map Encode.encode loop_program) in
+    Machine.set_reg_int m 6 4;
+    m
+  in
+  let ref_m = mk () in
+  let _, n_ref = Machine.run ~dispatch:Machine.Dispatch_ref ref_m in
+  let ref_hash = Machine.state_hash ref_m in
+  for fuel = 1 to 7 do
+    let m = mk () in
+    let total = ref 0 in
+    let halted = ref false in
+    while not !halted do
+      let r, n = Machine.run ~fuel ~dispatch:Machine.Dispatch_block m in
+      total := !total + n;
+      match r with
+      | Machine.Step_halted -> halted := true
+      | Machine.Step_ok | Machine.Step_trap _ -> ()
+      | r -> Alcotest.failf "fuel %d: unexpected %s" fuel (result_name r)
+    done;
+    Alcotest.(check int)
+      (Printf.sprintf "fuel %d: retired count" fuel)
+      n_ref !total;
+    Alcotest.(check string)
+      (Printf.sprintf "fuel %d: state hash" fuel)
+      ref_hash (Machine.state_hash m)
+  done
+
+(* Device writes must not invalidate cached blocks (satellite of the
+   MMIO no-snoop rule): after a run has populated the cache, a write to
+   a device register leaves every block valid — the re-run hits without
+   a single refill — while an SRAM code store really does invalidate. *)
+let test_device_write_keeps_blocks () =
+  let m, _ = boot ~device:true (List.map Encode.encode loop_program) in
+  Machine.set_reg_int m 6 4;
+  let _ = run_block m in
+  let s1 = Machine.block_stats m in
+  Bus.write m.Machine.bus ~width:4 0x9004 99;
+  let s2 = Machine.block_stats m in
+  Alcotest.(check int) "device write invalidates nothing"
+    s1.Machine.block_invalidations s2.Machine.block_invalidations;
+  reset m;
+  Machine.set_reg_int m 6 4;
+  let _ = run_block m in
+  let s3 = Machine.block_stats m in
+  Alcotest.(check int) "re-run refills nothing" s1.Machine.blocks_filled
+    s3.Machine.blocks_filled;
+  Alcotest.(check bool) "re-run hits the cached blocks" true
+    (s3.Machine.block_hits > s1.Machine.block_hits);
+  (* control: an SRAM store over the code does invalidate *)
+  Bus.write m.Machine.bus ~width:4 code_base 0;
+  let s4 = Machine.block_stats m in
+  Alcotest.(check bool) "sram code store invalidates" true
+    (s4.Machine.block_invalidations > s3.Machine.block_invalidations)
+
+(* Writes that bypass the bus (direct [Sram.write32]) are invisible to
+   the snoop: the cached block is legitimately stale until
+   [flush_decode_cache], which must drop translated blocks too. *)
+let test_bypass_needs_flush () =
+  let program = Insn.[ Op_imm (Add, 2, 2, 1); Ebreak ] in
+  let m, code = boot (List.map Encode.encode program) in
+  let _ = run_block m in
+  Alcotest.(check int) "first run, old semantics" 1 (Machine.reg_int m 2);
+  Sram.write32 code code_base (Encode.encode (Insn.Op_imm (Add, 2, 2, 16)));
+  reset m;
+  let _ = run_block m in
+  Alcotest.(check int) "bypass write unseen: stale block still served" 1
+    (Machine.reg_int m 2);
+  Machine.flush_decode_cache m;
+  reset m;
+  let _ = run_block m in
+  Alcotest.(check int) "after flush, new semantics" 16 (Machine.reg_int m 2);
+  let s = Machine.block_stats m in
+  Alcotest.(check bool) "flush accounted" true (s.Machine.block_flushes >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "block formation and stats accounting" `Quick
+      test_formation_and_stats;
+    Alcotest.test_case "length cap and terminators bound blocks" `Quick
+      test_block_boundaries;
+    Alcotest.test_case "self-modifying store abandons its own block" `Quick
+      test_self_modifying_abandon;
+    Alcotest.test_case "fuel-exact block cutting" `Quick test_fuel_cutting;
+    Alcotest.test_case "device writes keep cached blocks valid" `Quick
+      test_device_write_keeps_blocks;
+    Alcotest.test_case "bus-bypass writes need an explicit flush" `Quick
+      test_bypass_needs_flush;
+  ]

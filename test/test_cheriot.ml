@@ -15,6 +15,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("differential", Test_differential.suite);
       ("decode-cache", Test_decode_cache.suite);
+      ("block-cache", Test_block_cache.suite);
       ("integration", Test_integration.suite);
       ("area", Test_area.suite);
       ("workloads", Test_workloads.suite);

@@ -1,20 +1,32 @@
-(* Differential oracle for the decoded-instruction cache.
+(* Differential oracle for the decoded-instruction and basic-block
+   translation caches.
 
    [Machine.step] is the reference interpreter: it re-reads and
    re-decodes the instruction word at the PC on every step.
    [Machine.step_fast] fetches through the decode cache and, on a
    validated hit, skips the fetch checks and the PC-advance
-   representability check by installing precomputed results.  The two
-   must be observationally indistinguishable.
+   representability check by installing precomputed results.  The block
+   dispatch path ([Machine.run ~dispatch:Dispatch_block]) executes
+   whole translated basic blocks with interrupt checks only at block
+   boundaries and bookkeeping deferred across simple instructions.  All
+   three must be observationally indistinguishable.
 
    This test runs the same random instruction streams (the [Test_fuzz]
    generator: well-formed capability/memory/ALU instructions plus raw
-   random words) on two identically-booted machines in lockstep — one
-   stepping through each path — and compares the full architectural
-   state after every single step: step result, PCC, all registers,
-   special capability registers, CSRs, and the retired-event record the
-   cycle models consume.  At the end of each stream the state hashes
-   (which also cover memory contents and tag bits) must agree. *)
+   random words) on three identically-booted machines in lockstep — one
+   per dispatch path (the block machine is driven with [fuel:1], which
+   cuts every block after one instruction, exposing the mid-block
+   machine state) — and compares the full architectural state after
+   every single step: step result, PCC, all registers, special
+   capability registers, CSRs, and the retired-event record the cycle
+   models consume.  At the end of each stream the state hashes (which
+   also cover memory contents and tag bits) must agree.
+
+   A second property drives the machines in random-length batches while
+   injecting external-interrupt toggles and timer writes identically on
+   all three, checking that batched block execution delivers every
+   interrupt at exactly the same instruction boundary as the per-step
+   paths. *)
 
 open Cheriot_core
 open Cheriot_isa
@@ -112,15 +124,32 @@ let compare_states step_no (ref_m : Machine.t) (fast_m : Machine.t) =
   if not (event_eq ref_m.last_event fast_m.last_event) then fail "event"
 
 let run_stream words =
-  let ref_m = boot words and fast_m = boot words in
+  let ref_m = boot words
+  and fast_m = boot words
+  and blk_m = boot words in
   let rec go n =
     if n > 256 then ()
     else begin
       let r_ref = Machine.step ref_m in
       let r_fast = Machine.step_fast fast_m in
+      (* [run ~fuel:1] executes exactly one instruction (or interrupt /
+         idle round) of the block path; when fuel expires after a trap
+         step it reports [Step_ok], exactly as the per-step [run] loop
+         would, so map the reference result accordingly. *)
+      let r_blk, n_blk =
+        Machine.run ~fuel:1 ~dispatch:Machine.Dispatch_block blk_m
+      in
       if r_ref <> r_fast then
-        QCheck.Test.fail_reportf "results diverged at step %d" n;
+        QCheck.Test.fail_reportf "ref/cached results diverged at step %d" n;
+      let expect_blk =
+        match r_ref with
+        | Machine.Step_ok | Machine.Step_trap _ -> Machine.Step_ok
+        | r -> r
+      in
+      if (r_blk, n_blk) <> (expect_blk, 1) then
+        QCheck.Test.fail_reportf "ref/block results diverged at step %d" n;
       compare_states n ref_m fast_m;
+      compare_states n ref_m blk_m;
       match r_ref with
       | Machine.Step_ok | Machine.Step_trap _ -> go (n + 1)
       | Machine.Step_waiting | Machine.Step_halted | Machine.Step_double_fault
@@ -129,13 +158,14 @@ let run_stream words =
     end
   in
   go 0;
-  if Machine.state_hash ref_m <> Machine.state_hash fast_m then
+  let h = Machine.state_hash ref_m in
+  if h <> Machine.state_hash fast_m || h <> Machine.state_hash blk_m then
     QCheck.Test.fail_reportf "final state hashes differ";
   true
 
 let prop_lockstep =
   QCheck.Test.make
-    ~name:"reference and cached dispatch agree on 1000 random streams"
+    ~name:"ref, cached and block dispatch agree on 1000 random streams"
     ~count:1000
     (QCheck.make
        ~print:(fun ws ->
@@ -149,28 +179,128 @@ let prop_lockstep =
        Test_fuzz.gen_program)
     run_stream
 
+(* Interrupt-injection equivalence (the heart of the block-dispatch
+   soundness argument): drive the three paths in random-length fuel
+   batches, and between batches toggle the external interrupt line and
+   write the timer comparator / cycle counter — identically on all
+   three machines.  Batched block execution checks for interrupts only
+   at block boundaries; by the body invariant (see
+   [Machine.block_terminator]'s comment) that must deliver every
+   interrupt at exactly the same retired-instruction boundary as the
+   per-step loops, so results, retired counts and full state must stay
+   equal after every batch. *)
+let run_interrupt_stream (words, seed) =
+  let handler_cap =
+    Capability.set_bounds
+      (Capability.with_address Capability.root_executable code_base)
+      ~length:code_size ~exact:false
+  in
+  let mk () =
+    let m = boot words in
+    (* vector traps back into the program text so interrupts take the
+       real trap-entry path instead of double-faulting *)
+    m.Machine.mtcc <- handler_cap;
+    m.Machine.mie <- true;
+    m
+  in
+  let ref_m = mk () and fast_m = mk () and blk_m = mk () in
+  let machines = [ ref_m; fast_m; blk_m ] in
+  (* small deterministic LCG over the generated seed: the shrinker can
+     minimise interesting injection schedules along with the program *)
+  let state = ref seed in
+  let rand bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFF_FFFF;
+    !state mod bound
+  in
+  let total = ref 0 in
+  (try
+     while !total < 256 do
+       let fuel = 1 + rand 32 in
+       let toggle = rand 4 = 0 in
+       let retime = rand 4 = 0 in
+       let cmp = rand 8 and cyc = rand 8 in
+       List.iter
+         (fun (m : Machine.t) ->
+           if toggle then m.Machine.ext_interrupt <- not m.Machine.ext_interrupt;
+           if retime then begin
+             m.Machine.mtimecmp <- cmp;
+             m.Machine.mcycle <- cyc
+           end)
+         machines;
+       let r_ref, n_ref =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_ref ref_m
+       in
+       let r_fast, n_fast =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_cached fast_m
+       in
+       let r_blk, n_blk =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_block blk_m
+       in
+       if (r_ref, n_ref) <> (r_fast, n_fast) then
+         QCheck.Test.fail_reportf
+           "ref/cached batch diverged after %d insns (fuel %d)" !total fuel;
+       if (r_ref, n_ref) <> (r_blk, n_blk) then
+         QCheck.Test.fail_reportf
+           "ref/block batch diverged after %d insns (fuel %d): ref retired \
+            %d, block retired %d"
+           !total fuel n_ref n_blk;
+       compare_states !total ref_m fast_m;
+       compare_states !total ref_m blk_m;
+       let h = Machine.state_hash ref_m in
+       if h <> Machine.state_hash fast_m || h <> Machine.state_hash blk_m then
+         QCheck.Test.fail_reportf "state hashes diverged after %d insns"
+           !total;
+       total := !total + n_ref;
+       match r_ref with
+       | Machine.Step_halted | Machine.Step_double_fault -> raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  true
+
+let prop_interrupt_lockstep =
+  QCheck.Test.make
+    ~name:"interrupt injection: all three paths deliver identically"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (ws, seed) ->
+         Printf.sprintf "seed %d\n%s" seed
+           (String.concat "\n"
+              (List.map
+                 (fun w ->
+                   match Encode.decode w with
+                   | Some i -> Printf.sprintf "%08x  %s" w (Insn.to_string i)
+                   | None -> Printf.sprintf "%08x  ???" w)
+                 ws)))
+       QCheck.Gen.(pair Test_fuzz.gen_program (int_bound 0x3FFF_FFFF)))
+    run_interrupt_stream
+
 (* The same oracle on a deterministic workload with a long trace:
-   coremark's ISA program, reference vs cached, equal retired counts and
-   state hashes. *)
+   coremark's ISA program on all three dispatch paths, equal retired
+   counts and state hashes. *)
 let test_coremark_lockstep () =
   let module Coremark = Cheriot_workloads.Coremark in
   let module Core_model = Cheriot_uarch.Core_model in
-  let run fast =
+  let run dispatch =
     let m =
       Coremark.setup ~iterations:2
         (Core_model.config ~cheri:true ~load_filter:true Core_model.Ibex)
     in
-    let _, insns = Machine.run ~fast m in
+    let _, insns = Machine.run ~dispatch m in
     (insns, Machine.state_hash m)
   in
-  let ref_insns, ref_hash = run false in
-  let fast_insns, fast_hash = run true in
-  Alcotest.(check int) "retired instructions" ref_insns fast_insns;
-  Alcotest.(check string) "state hash" ref_hash fast_hash
+  let ref_insns, ref_hash = run Machine.Dispatch_ref in
+  let fast_insns, fast_hash = run Machine.Dispatch_cached in
+  let blk_insns, blk_hash = run Machine.Dispatch_block in
+  Alcotest.(check int) "retired instructions (cached)" ref_insns fast_insns;
+  Alcotest.(check string) "state hash (cached)" ref_hash fast_hash;
+  Alcotest.(check int) "retired instructions (block)" ref_insns blk_insns;
+  Alcotest.(check string) "state hash (block)" ref_hash blk_hash
 
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_lockstep;
+    QCheck_alcotest.to_alcotest prop_interrupt_lockstep;
     Alcotest.test_case "coremark trace matches across dispatch paths" `Quick
       test_coremark_lockstep;
   ]

@@ -119,6 +119,65 @@ let test_bus_snoop () =
     [ base + 16; base + 8 ]
     !seen
 
+(* Regression: [Bus.read]/[Bus.write] must range-check the {e full}
+   access width.  A 4-byte access whose first byte is the last byte of
+   an SRAM used to be routed into the region and crash with
+   [Invalid_argument] from the byte-array layer; it must be a clean
+   [Bus_error] (which the machine turns into an access fault).  An
+   access straddling two {e adjacent} SRAMs is equally unroutable: no
+   single region covers it. *)
+let test_bus_boundary_straddle () =
+  let bus = Bus.create () in
+  let s = Sram.create ~base ~size:256 in
+  Bus.add_sram bus s;
+  let adjacent = Sram.create ~base:(base + 256) ~size:256 in
+  Bus.add_sram bus adjacent;
+  let faults f =
+    try
+      f ();
+      false
+    with
+    | Bus.Bus_error _ -> true
+    | Invalid_argument _ -> false
+  in
+  let last = base + 255 in
+  Alcotest.(check bool) "4-byte read at last byte faults" true
+    (faults (fun () -> ignore (Bus.read bus ~width:4 last)));
+  Alcotest.(check bool) "4-byte write at last byte faults" true
+    (faults (fun () -> Bus.write bus ~width:4 last 0));
+  Alcotest.(check bool) "2-byte read at last byte faults" true
+    (faults (fun () -> ignore (Bus.read bus ~width:2 last)));
+  Alcotest.(check bool) "2-byte write at last byte faults" true
+    (faults (fun () -> Bus.write bus ~width:2 last 0));
+  (* straddling into an adjacent SRAM is still unroutable... *)
+  Alcotest.(check bool) "read straddling adjacent SRAMs faults" true
+    (faults (fun () -> ignore (Bus.read bus ~width:4 (last - 1))));
+  (* ...while fully-inside accesses on either side work *)
+  Bus.write bus ~width:4 (base + 252) 0xaabbccdd;
+  Alcotest.(check int) "last word of first SRAM" 0xaabbccdd
+    (Bus.read bus ~width:4 (base + 252));
+  Bus.write bus ~width:4 (base + 256) 0x11223344;
+  Alcotest.(check int) "first word of second SRAM" 0x11223344
+    (Bus.read bus ~width:4 (base + 256))
+
+(* MMIO device writes must not fire the store snoop: the snoop exists
+   to invalidate cached translations of SRAM-resident code, and device
+   registers can never back translated code (the block translator only
+   reads SRAM).  Snooping them would only cause spurious
+   invalidations. *)
+let test_mmio_write_no_snoop () =
+  let bus = Bus.create () in
+  let s = Sram.create ~base ~size:256 in
+  Bus.add_sram bus s;
+  let dev, _backing = Mmio.ram_backed ~name:"dev" ~base:0x9000 ~size:16 in
+  Bus.add_device bus dev;
+  let seen = ref [] in
+  Bus.on_store bus (fun a -> seen := a :: !seen);
+  Bus.write bus ~width:4 0x9004 99;
+  Alcotest.(check (list int)) "device write fires no snoop" [] !seen;
+  Bus.write bus ~width:4 base 7;
+  Alcotest.(check (list int)) "sram write still snoops" [ base ] !seen
+
 let prop_sram_bytes =
   QCheck.Test.make ~name:"sram byte write/read" ~count:1000
     QCheck.(pair (int_bound 255) (int_bound 255))
@@ -156,6 +215,10 @@ let suite =
       test_revbits_granule_ablation;
     Alcotest.test_case "bus routing" `Quick test_bus_routing;
     Alcotest.test_case "bus store snoop" `Quick test_bus_snoop;
+    Alcotest.test_case "full-width range checks at region boundaries" `Quick
+      test_bus_boundary_straddle;
+    Alcotest.test_case "mmio writes bypass the store snoop" `Quick
+      test_mmio_write_no_snoop;
     q prop_sram_bytes;
     q prop_data_write_kills_tag;
   ]

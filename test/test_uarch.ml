@@ -176,6 +176,122 @@ let test_core_model_costs () =
   let w_flute = Core_model.cycles_of_event flute ~load_filter:true (ev lw) in
   Alcotest.(check int) "Flute cap load same as word load" w_flute c_flute_on
 
+(* --- Perf dispatch parity --------------------------------------------- *)
+
+(* The cycle model must be blind to the dispatch machinery: Reference,
+   Cached and Block runs of the same program charge identical cycles
+   and instructions and land in identical machine state.  The program
+   mixes the event classes the model prices differently (loads, stores,
+   ALU, taken/untaken branches) and ends in a WFI with no interrupt
+   source, covering the block path's idle-round charging too. *)
+module Machine = Cheriot_isa.Machine
+module Asm = Cheriot_isa.Asm
+module Insn = Cheriot_isa.Insn
+
+let code_base = 0x1_0000
+let data_base = 0x1_8000
+
+let exec_cap base len =
+  Capability.set_bounds
+    (Capability.with_address Capability.root_executable base)
+    ~length:len ~exact:false
+
+let mem_cap base len =
+  Capability.set_bounds
+    (Capability.with_address Capability.root_mem_rw base)
+    ~length:len ~exact:false
+
+let boot_perf program =
+  let bus = Bus.create () in
+  let sram = Sram.create ~base:code_base ~size:0xA000 in
+  Bus.add_sram bus sram;
+  let m = Machine.create bus in
+  Asm.load (Asm.assemble ~origin:code_base program) sram;
+  m.Machine.pcc <- exec_cap code_base 0x400;
+  Machine.set_reg m 4 (mem_cap data_base 16);
+  m
+
+let parity_program =
+  let t0 = Insn.reg_t0 and t1 = Insn.reg_t1 in
+  [
+    Asm.Label "top";
+    Asm.I (Insn.Load { signed = true; width = W; rd = t0; rs1 = 4; off = 0 });
+    Asm.I (Insn.Op_imm (Add, t0, t0, 1));
+    Asm.I (Insn.Store { width = W; rs2 = t0; rs1 = 4; off = 0 });
+    Asm.Li (t1, 10);
+    Asm.B (Insn.Lt, t0, t1, "top");
+    Asm.I Insn.Wfi;
+  ]
+
+let perf_run dispatch program setup =
+  let m = boot_perf program in
+  setup m;
+  let p =
+    Perf.create ~dispatch ~params:(Core_model.params_of Core_model.Ibex) m
+  in
+  let r = Perf.run ~fuel:1_000_000 p in
+  (r, p.Perf.stats, m.Machine.mcycle, Machine.state_hash m)
+
+let test_perf_dispatch_parity () =
+  let run d = perf_run d parity_program (fun _ -> ()) in
+  let r_ref, s_ref, cy_ref, h_ref = run Perf.Reference in
+  let r_cached, s_cached, cy_cached, h_cached = run Perf.Cached in
+  let r_blk, s_blk, cy_blk, h_blk = run Perf.Block in
+  Alcotest.(check bool) "all paths reach the WFI" true
+    (r_ref = Machine.Step_waiting
+    && r_cached = Machine.Step_waiting
+    && r_blk = Machine.Step_waiting);
+  Alcotest.(check int) "cycles (cached)" s_ref.Perf.cycles s_cached.Perf.cycles;
+  Alcotest.(check int) "cycles (block)" s_ref.Perf.cycles s_blk.Perf.cycles;
+  Alcotest.(check int) "mcycle (block)" cy_ref cy_blk;
+  Alcotest.(check int) "mcycle (cached)" cy_ref cy_cached;
+  Alcotest.(check int) "instructions (cached)" s_ref.Perf.instructions
+    s_cached.Perf.instructions;
+  Alcotest.(check int) "instructions (block)" s_ref.Perf.instructions
+    s_blk.Perf.instructions;
+  Alcotest.(check int) "mem_busy (block)" s_ref.Perf.mem_busy
+    s_blk.Perf.mem_busy;
+  Alcotest.(check string) "state hash (cached)" h_ref h_cached;
+  Alcotest.(check string) "state hash (block)" h_ref h_blk;
+  (* the block stats really flowed through the harness *)
+  Alcotest.(check bool) "block stats threaded" true
+    (s_blk.Perf.block_hits > 0 && s_blk.Perf.avg_block_len > 1.0);
+  Alcotest.(check int) "no block activity on reference" 0
+    (s_ref.Perf.block_hits + s_ref.Perf.block_misses)
+
+(* With interrupts enabled and the timer armed, the block path must
+   deliver the timer interrupt at exactly the same cycle as the
+   per-step paths (it falls back to per-step dispatch in that regime —
+   a mid-block comparator crossing would otherwise be observable). *)
+let test_perf_timer_parity () =
+  let isr_base = code_base + 0x200 in
+  let program =
+    [ Asm.Label "spin"; Asm.I (Insn.Op_imm (Add, 5, 5, 1)); Asm.J (0, "spin") ]
+  in
+  let setup (m : Machine.t) =
+    let sram =
+      match Bus.sram_at m.Machine.bus ~size:4 isr_base with
+      | Some s -> s
+      | None -> Alcotest.fail "no sram at isr"
+    in
+    Asm.load (Asm.assemble ~origin:isr_base [ Asm.I Insn.Ebreak ]) sram;
+    Machine.flush_decode_cache m;
+    m.Machine.mtcc <- exec_cap isr_base 0x100;
+    m.Machine.mtimecmp <- 100;
+    m.Machine.mie <- true
+  in
+  let run d = perf_run d program setup in
+  let r_ref, s_ref, cy_ref, h_ref = run Perf.Reference in
+  let r_blk, s_blk, cy_blk, h_blk = run Perf.Block in
+  Alcotest.(check bool) "both halt in the ISR" true
+    (r_ref = Machine.Step_halted && r_blk = Machine.Step_halted);
+  Alcotest.(check int) "interrupt delivered at the same cycle" cy_ref cy_blk;
+  Alcotest.(check int) "same cycle total" s_ref.Perf.cycles s_blk.Perf.cycles;
+  Alcotest.(check int) "same instruction total" s_ref.Perf.instructions
+    s_blk.Perf.instructions;
+  Alcotest.(check int) "same trap count" s_ref.Perf.traps s_blk.Perf.traps;
+  Alcotest.(check string) "same final state" h_ref h_blk
+
 let suite =
   [
     Alcotest.test_case "sweep invalidates stale caps" `Quick
@@ -189,4 +305,8 @@ let suite =
     Alcotest.test_case "MMIO start/end/epoch/kick" `Quick test_mmio_interface;
     Alcotest.test_case "bus store snoop wired" `Quick test_bus_snoop_wired;
     Alcotest.test_case "core model costs" `Quick test_core_model_costs;
+    Alcotest.test_case "perf harness blind to dispatch path" `Quick
+      test_perf_dispatch_parity;
+    Alcotest.test_case "timer interrupt cycle-exact under block dispatch"
+      `Quick test_perf_timer_parity;
   ]
