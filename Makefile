@@ -1,14 +1,16 @@
 # Entry points for local use and CI.
 #
 # `make ci` is the gate: build, the full test suite (including the
-# differential oracle between the reference, cached and block dispatch
-# paths), and reduced-workload runs of the decode-cache and block-exec
-# benchmarks, which exit non-zero if any dispatch path diverges on any
-# workload.  The smoke benches write BENCH_*_smoke.json; they are
-# divergence gates, not performance claims — use `make bench` for real
-# numbers.
+# differential oracle between the reference, cached, block and chain
+# dispatch paths), the dispatch-parity gate (the differential suite in
+# isolation — it fails printing the qcheck fuzz seed and shrunk program
+# on any state-hash mismatch), and reduced-workload runs of the
+# decode-cache, block-exec and chain-exec benchmarks, which exit
+# non-zero if any dispatch path diverges on any workload.  The smoke
+# benches write BENCH_*_smoke.json; they are divergence gates, not
+# performance claims — use `make bench` for real numbers.
 
-.PHONY: all build test bench bench-smoke ci clean
+.PHONY: all build test parity bench bench-smoke ci clean
 
 all: build
 
@@ -18,15 +20,24 @@ build:
 test: build
 	dune runtest
 
+# Dispatch parity: every dispatch path (ref / cached / block / chain)
+# must be observationally identical on random streams, under interrupt
+# injection, and on coremark.  Alcotest prints the failing qcheck seed
+# and the shrunk instruction stream on a mismatch.
+parity: build
+	dune exec test/test_cheriot.exe -- test differential
+
 bench: build
 	dune exec bench/main.exe -- decode_cache
 	dune exec bench/main.exe -- block_exec
+	dune exec bench/main.exe -- chain_exec
 
 bench-smoke: build
 	dune exec bench/main.exe -- decode_cache smoke
 	dune exec bench/main.exe -- block_exec smoke
+	dune exec bench/main.exe -- chain_exec smoke
 
-ci: build test bench-smoke
+ci: build test parity bench-smoke
 
 clean:
 	dune clean

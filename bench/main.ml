@@ -664,6 +664,148 @@ let block_exec ?(smoke = false) () =
     exit 1
   end
 
+(* --- block chaining + superblock benchmark ------------------------------- *)
+
+(* Four-way differential timing adding the chained dispatch path
+   ([Dispatch_chain]: direct block-to-block links plus trace-driven
+   superblocks) to the [block_exec] trio.  All four must retire
+   identical instruction counts and reach bit-identical architectural
+   state; the acceptance target is the chain path's win over the PR 2
+   block path.  Writes BENCH_chain_exec.json with the chain/superblock
+   counters. *)
+
+let chain_dispatches =
+  [|
+    Machine.Dispatch_ref;
+    Machine.Dispatch_cached;
+    Machine.Dispatch_block;
+    Machine.Dispatch_chain;
+  |]
+
+(* Interleaved min-of-5 quadruplets on fresh machines, for the same
+   reasons as [time_paths]. *)
+let time_four ~mk =
+  let finish best m =
+    {
+      pt_insns = m.Machine.minstret;
+      pt_seconds = best;
+      pt_ips = float_of_int m.Machine.minstret /. max 1e-9 best;
+      pt_hash = Machine.state_hash m;
+      pt_machine = m;
+    }
+  in
+  let n = Array.length chain_dispatches in
+  let best = Array.make n infinity in
+  let last = Array.make n None in
+  for _ = 1 to 5 do
+    Array.iteri
+      (fun i d ->
+        let dt, m = block_run_once ~mk d in
+        if dt < best.(i) then best.(i) <- dt;
+        last.(i) <- Some m)
+      chain_dispatches
+  done;
+  Array.init n (fun i -> finish best.(i) (Option.get last.(i)))
+
+let chain_exec ?(smoke = false) () =
+  section
+    (if smoke then "chain exec -- smoke (reduced workloads)"
+     else "chain exec -- block dispatch vs chained blocks + superblocks");
+  let workloads =
+    [
+      ( "coremark",
+        fun () ->
+          Coremark.setup
+            ~iterations:(if smoke then 2 else 40)
+            (Core_model.config ~cheri:true ~load_filter:true Core_model.Ibex)
+      );
+      ( "alloc_bench",
+        fun () -> Alloc_bench.isa_setup ~rounds:(if smoke then 5 else 400) ()
+      );
+      ( "iot_app",
+        fun () -> Iot_app.isa_setup ~packets:(if smoke then 10 else 1500) ()
+      );
+    ]
+  in
+  Format.printf "%-12s %12s %13s %13s %8s %8s %7s@." "workload" "insns"
+    "block i/s" "chain i/s" "vs blk" "vs ref" "match";
+  let diverged = ref false in
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let p = time_four ~mk in
+        let r = p.(0) and c = p.(1) and b = p.(2) and ch = p.(3) in
+        let ok =
+          Array.for_all
+            (fun q -> q.pt_insns = r.pt_insns && q.pt_hash = r.pt_hash)
+            p
+        in
+        if not ok then begin
+          diverged := true;
+          Format.eprintf
+            "DIVERGENCE on %s: ref %d/%s cached %d/%s block %d/%s chain %d/%s@."
+            name r.pt_insns r.pt_hash c.pt_insns c.pt_hash b.pt_insns b.pt_hash
+            ch.pt_insns ch.pt_hash
+        end;
+        let vs_block = ch.pt_ips /. b.pt_ips in
+        let vs_ref = ch.pt_ips /. r.pt_ips in
+        Format.printf "%-12s %12d %13.0f %13.0f %7.2fx %7.2fx %7s@." name
+          r.pt_insns b.pt_ips ch.pt_ips vs_block vs_ref
+          (if ok then "yes" else "NO");
+        (name, r, c, b, ch, ok))
+      workloads
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"bench\": \"chain_exec\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"workloads\": [\n" smoke);
+  List.iteri
+    (fun i (name, r, c, b, ch, ok) ->
+      let cs = Machine.block_stats ch.pt_machine in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S,\n\
+           \     \"reference\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f},\n\
+           \     \"cached\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f},\n\
+           \     \"block\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f},\n\
+           \     \"chain\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f,\n\
+           \               \"block_hits\": %d, \"block_misses\": %d, \
+            \"block_invalidations\": %d,\n\
+           \               \"block_aborts\": %d, \"blocks_filled\": %d, \
+            \"avg_block_len\": %.2f,\n\
+           \               \"chain_hits\": %d, \"chain_unlinks\": %d, \
+            \"superblocks_formed\": %d, \"side_exits\": %d},\n\
+           \     \"speedup_vs_block\": %.3f, \"speedup_vs_reference\": %.3f, \
+            \"state_match\": %b}%s\n"
+           name r.pt_insns r.pt_seconds r.pt_ips c.pt_insns c.pt_seconds
+           c.pt_ips b.pt_insns b.pt_seconds b.pt_ips ch.pt_insns ch.pt_seconds
+           ch.pt_ips cs.Machine.block_hits cs.Machine.block_misses
+           cs.Machine.block_invalidations cs.Machine.block_aborts
+           cs.Machine.blocks_filled (Machine.avg_block_len cs)
+           cs.Machine.chain_hits cs.Machine.chain_unlinks
+           cs.Machine.superblocks_formed cs.Machine.side_exits
+           (ch.pt_ips /. b.pt_ips)
+           (ch.pt_ips /. r.pt_ips)
+           ok
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let file =
+    if smoke then "BENCH_chain_exec_smoke.json" else "BENCH_chain_exec.json"
+  in
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." file;
+  if !diverged then begin
+    prerr_endline "chain_exec: dispatch paths diverged";
+    exit 1
+  end
+
 (* --- driver -------------------------------------------------------------- *)
 
 let all () =
@@ -677,6 +819,7 @@ let all () =
   ablations ();
   decode_cache ();
   block_exec ();
+  chain_exec ();
   micro ()
 
 let () =
@@ -694,10 +837,12 @@ let () =
   | [| _; "decode_cache"; "smoke" |] -> decode_cache ~smoke:true ()
   | [| _; "block_exec" |] -> block_exec ()
   | [| _; "block_exec"; "smoke" |] -> block_exec ~smoke:true ()
+  | [| _; "chain_exec" |] -> chain_exec ()
+  | [| _; "chain_exec"; "smoke" |] -> chain_exec ~smoke:true ()
   | [| _; "micro" |] -> micro ()
   | _ ->
       prerr_endline
         "usage: main.exe \
          [table1|table2|table3|table4|fig5|fig6|iot|ablations|decode_cache \
-         [smoke]|block_exec [smoke]|micro]";
+         [smoke]|block_exec [smoke]|chain_exec [smoke]|micro]";
       exit 2

@@ -167,6 +167,7 @@ let demo_cmd =
           ("ref", Cheriot_isa.Machine.Dispatch_ref);
           ("cached", Cheriot_isa.Machine.Dispatch_cached);
           ("block", Cheriot_isa.Machine.Dispatch_block);
+          ("chain", Cheriot_isa.Machine.Dispatch_chain);
         ]
     in
     Arg.(
@@ -175,8 +176,10 @@ let demo_cmd =
       & info [ "dispatch" ]
           ~doc:
             "execution machinery: ref (re-decode every step), cached \
-             (decoded-instruction cache), or block (basic-block \
-             translation cache)")
+             (decoded-instruction cache), block (basic-block \
+             translation cache), or chain (chained blocks with \
+             trace-driven superblocks; traced transfers are marked \
+             [chain] / [side-exit])")
   in
   Cmd.v
     (Cmd.info "demo"

@@ -1,4 +1,13 @@
-type stats = { hits : int; misses : int; invalidations : int; flushes : int }
+type stats = {
+  hits : int;
+  misses : int;
+  invalidations : int;
+  flushes : int;
+  chain_hits : int;
+  chain_unlinks : int;
+  superblocks_formed : int;
+  side_exits : int;
+}
 
 type 'a t = {
   tags : int array;  (* full PC of the cached word; -1 = empty *)
@@ -89,6 +98,16 @@ type 'a ranged = {
      overwhelming majority — cost two compares and never probe. *)
   mutable span_lo : int;
   mutable span_hi : int;
+  (* Chain epoch: every direct block-to-block link records the epoch at
+     link time and is only followed while it still matches.  Any event
+     that could stale a translation somewhere — a store-kill, a flush,
+     a superblock replacing an entry — bumps the epoch, unlinking every
+     edge in the cache in O(1). *)
+  mutable chain_epoch : int;
+  mutable chain_hits : int;  (* transfers that skipped probe + ticket *)
+  mutable chain_unlinks : int;  (* stale links observed at traversal *)
+  mutable superblocks_formed : int;
+  mutable side_exits : int;  (* taken interior branches of superblocks *)
 }
 
 let ranged ?size_log2 ~max_span ~dummy () =
@@ -102,7 +121,15 @@ let ranged ?size_log2 ~max_span ~dummy () =
     max_span;
     span_lo = max_int;
     span_hi = 0;
+    chain_epoch = 0;
+    chain_hits = 0;
+    chain_unlinks = 0;
+    superblocks_formed = 0;
+    side_exits = 0;
   }
+
+let chain_epoch t = t.chain_epoch
+let bump_chain_epoch t = t.chain_epoch <- t.chain_epoch + 1
 
 let rfill t ~slot ~pc ~lo ~hi v =
   if hi - lo > t.max_span then invalid_arg "Decode_cache.rfill: span too long";
@@ -117,7 +144,10 @@ let rkill t slot =
     t.rc.tags.(slot) <- -1;
     t.rc.payloads.(slot) <- t.rc.dummy;
     t.his.(slot) <- 0;
-    t.rc.invalidations <- t.rc.invalidations + 1
+    t.rc.invalidations <- t.rc.invalidations + 1;
+    (* The dead entry may be the target of chained links elsewhere in
+       the cache; unlink them all before the next transfer. *)
+    t.chain_epoch <- t.chain_epoch + 1
   end
 
 (* A store granule [g, g+8) can only intersect entries whose start PC
@@ -146,7 +176,8 @@ let rflush t =
   flush t.rc;
   Array.fill t.his 0 (Array.length t.his) 0;
   t.span_lo <- max_int;
-  t.span_hi <- 0
+  t.span_hi <- 0;
+  t.chain_epoch <- t.chain_epoch + 1
 
 let stats t : stats =
   {
@@ -154,6 +185,21 @@ let stats t : stats =
     misses = t.misses;
     invalidations = t.invalidations;
     flushes = t.flushes;
+    chain_hits = 0;
+    chain_unlinks = 0;
+    superblocks_formed = 0;
+    side_exits = 0;
+  }
+
+(* Ranged-cache stats: the plain counters of the underlying cache plus
+   the chain/superblock counters that only exist at this layer. *)
+let rstats t : stats =
+  {
+    (stats t.rc) with
+    chain_hits = t.chain_hits;
+    chain_unlinks = t.chain_unlinks;
+    superblocks_formed = t.superblocks_formed;
+    side_exits = t.side_exits;
   }
 
 let reset_stats t =

@@ -43,6 +43,16 @@ type stats = {
   misses : int;
   invalidations : int;  (** entries killed by store snoops *)
   flushes : int;  (** whole-cache flushes *)
+  chain_hits : int;
+      (** block transfers that followed a direct chained link, skipping
+          the probe and the ticket re-check (ranged caches only) *)
+  chain_unlinks : int;
+      (** previously linked edges found stale (epoch mismatch) at
+          traversal time *)
+  superblocks_formed : int;  (** hot-path re-translations installed *)
+  side_exits : int;
+      (** taken interior branches that exited a superblock back into the
+          normal dispatch loop *)
 }
 
 val create : ?size_log2:int -> dummy:'a -> unit -> 'a t
@@ -101,8 +111,22 @@ type 'a ranged = {
   max_span : int;
   mutable span_lo : int;  (** union window over live spans *)
   mutable span_hi : int;
+  mutable chain_epoch : int;
+      (** global link-validity epoch: chained block-to-block edges
+          record it at link time and are only followed while it still
+          matches; {!rkill}, {!rflush} and superblock installation bump
+          it, unlinking every edge in O(1) *)
+  mutable chain_hits : int;
+  mutable chain_unlinks : int;
+  mutable superblocks_formed : int;
+  mutable side_exits : int;
 }
 (** Exposed, like {!t}, for the machine's hand-inlined hot-path probe. *)
+
+val chain_epoch : 'a ranged -> int
+val bump_chain_epoch : 'a ranged -> unit
+(** Invalidate every chained edge in O(1) (used by the machine when a
+    translation is replaced wholesale, e.g. superblock installation). *)
 
 val ranged : ?size_log2:int -> max_span:int -> dummy:'a -> unit -> 'a ranged
 (** [max_span] is the largest [hi - lo] any entry may cover (a positive
@@ -121,4 +145,10 @@ val rflush : 'a ranged -> unit
 (** {1 Accounting} *)
 
 val stats : 'a t -> stats
+(** Plain-cache counters; the chain/superblock fields are always 0. *)
+
+val rstats : 'a ranged -> stats
+(** Counters of the underlying cache plus the chain/superblock counters
+    kept at the ranged layer. *)
+
 val reset_stats : 'a t -> unit

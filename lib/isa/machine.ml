@@ -6,7 +6,11 @@ module Revbits = Cheriot_mem.Revbits
 type mode = Cheriot | Rv32
 
 (** Which fetch/decode machinery drives execution. *)
-type dispatch = Dispatch_ref | Dispatch_cached | Dispatch_block
+type dispatch =
+  | Dispatch_ref
+  | Dispatch_cached
+  | Dispatch_block
+  | Dispatch_chain
 
 type cheri_cause =
   | Cheri_bounds
@@ -149,12 +153,20 @@ type t = {
   mutable fm_sram : Sram.t;
   mutable fm_base : int;
   mutable fm_limit : int;
-  (* Per-round retirement ring filled by [step_block] so the perf
-     harness and tracer can charge each retired instruction of a block
-     individually: parallel arrays of (copied) events and their PCs. *)
+  (* Per-round retirement ring filled by [step_block]/[step_chain] so
+     the perf harness and tracer can charge each retired instruction of
+     a block individually: parallel arrays of (copied) events, their
+     PCs, and a control-flow mark (see [mark_chained]/[mark_side_exit])
+     for trace rendering. *)
   block_events : event array;
   block_pcs : int array;
+  block_marks : int array;
   mutable block_ev_n : int;
+  mutable pending_mark : int;
+      (* mark attached to the next recorded event (chained entry) *)
+  mutable hot_threshold : int;
+      (* edge-traversal count at which a hot fall-through edge triggers
+         superblock formation; tests lower it to fuzz the crossing *)
 }
 
 (* A decode-cache entry carries a fetch "ticket": the machine mode and
@@ -194,6 +206,21 @@ and bentry = {
   b_pcc : Capability.t;  (* fetch ticket: the fill-time block-start PCC *)
   b_start : int;  (* address of b_insns.(0) *)
   b_len : int;
+  (* Direct chain slots (Dispatch_chain only): when the block ends in a
+     direct [Jal] or a [Branch], the validated successor block of each
+     edge is cached here with the cache's chain epoch at link time.  A
+     link whose epoch still matches is followed without probing the
+     cache or re-checking the successor's ticket: the link was
+     validated under a PCC value-equal to the one every later traversal
+     of the same edge produces (see [chain_next]).  [b_*_epoch = -1]
+     marks an edge never linked.  The counters drive superblock
+     formation. *)
+  mutable b_taken : bentry option;
+  mutable b_taken_epoch : int;
+  mutable b_cnt_taken : int;
+  mutable b_fall : bentry option;
+  mutable b_fall_epoch : int;
+  mutable b_cnt_fall : int;
 }
 
 exception Trap of cause
@@ -202,6 +229,19 @@ exception Trap of cause
    dispatch overhead amortises away, short enough that the store-snoop
    probe in [Decode_cache.rkill_store] stays a handful of compares. *)
 let max_block_len = 16
+
+(* Superblocks — hot paths re-translated across not-taken branches —
+   may grow to 64 instructions (256 bytes).  This also sets the ranged
+   cache's [max_span] and therefore the store-snoop candidate walk, but
+   that walk only runs for stores landing inside the code-span window,
+   which data stores never do. *)
+let max_superblock_len = 64
+
+(* Fuel ceiling of one recorded dispatch round ([step_chain]): bounds
+   the retirement ring.  A chained round ends early when fuel runs out,
+   so any cap is exact; this one is big enough that chaining still
+   amortises under the perf harness. *)
+let round_cap = 128
 
 let create ?(mode = Cheriot) ?(load_filter = true) bus =
   let dcache =
@@ -217,7 +257,7 @@ let create ?(mode = Cheriot) ?(load_filter = true) bus =
       ()
   in
   let bcache =
-    Decode_cache.ranged ~max_span:(max_block_len * 4)
+    Decode_cache.ranged ~max_span:(max_superblock_len * 4)
       ~dummy:
         {
           b_insns = [||];
@@ -227,6 +267,12 @@ let create ?(mode = Cheriot) ?(load_filter = true) bus =
           b_pcc = Capability.null;
           b_start = -1;
           b_len = 0;
+          b_taken = None;
+          b_taken_epoch = -1;
+          b_cnt_taken = 0;
+          b_fall = None;
+          b_fall_epoch = -1;
+          b_cnt_fall = 0;
         }
       ()
   in
@@ -269,10 +315,12 @@ let create ?(mode = Cheriot) ?(load_filter = true) bus =
     fm_base = 0;
     fm_limit = 0;
     block_events =
-      Array.init (max_block_len + 1) (fun _ ->
-          { no_event with ev_insn = None });
-    block_pcs = Array.make (max_block_len + 1) 0;
+      Array.init (round_cap + 1) (fun _ -> { no_event with ev_insn = None });
+    block_pcs = Array.make (round_cap + 1) 0;
+    block_marks = Array.make (round_cap + 1) 0;
     block_ev_n = 0;
+    pending_mark = 0;
+    hot_threshold = 32;
   }
 
 (* regs.(0) is initialised to null and [set_reg] never writes it, so the
@@ -1064,6 +1112,14 @@ let block_terminator (i : Insn.t) =
       true
   | _ -> false
 
+(* Superblocks relax exactly one terminator: a [Branch] may sit in the
+   interior, because it never touches the interrupt-delivery predicate
+   — its only control effect is redirecting the PCC, which the executor
+   turns into a side exit when taken.  Everything else that ends a
+   block still ends a superblock. *)
+let superblock_terminator (i : Insn.t) =
+  match i with Insn.Branch _ -> false | _ -> block_terminator i
+
 (* Fill-time fetch+decode under an explicit PCC.  Only SRAM-resident
    words are translated: lookahead past the current PC must not replay
    MMIO read side effects.  [None] means "this word cannot join a
@@ -1082,16 +1138,21 @@ let decode_at m pcc pc =
           | None -> None (* illegal words are never cached *)
           | Some i -> Some i))
 
-(* Translate the straight-line run starting at [pc0] (the current PC;
-   the caller just missed in the block cache).  Returns [None] when the
-   first word is untranslatable. *)
-let fill_block m pc0 =
-  match decode_at m m.pcc pc0 with
+(* Translate a run of code starting at [pc0] under [pcc0].  Plain
+   blocks ([sb:false]) stop at every [block_terminator]; superblocks
+   ([sb:true]) keep translating across not-taken [Branch]es up to
+   [cap] instructions (the executor side-exits when one is taken).
+   Translation is contiguous either way, so the registered span covers
+   every word and the store snoop kills superblocks exactly like
+   blocks.  Returns [None] when the first word is untranslatable. *)
+let translate m ~pcc0 ~pc0 ~sb ~cap =
+  match decode_at m pcc0 pc0 with
   | None -> None
   | Some first ->
-      let buf_i = Array.make max_block_len first in
-      let buf_o = Array.make max_block_len None in
-      let buf_n = Array.make max_block_len None in
+      let buf_i = Array.make cap first in
+      let buf_o = Array.make cap None in
+      let buf_n = Array.make cap None in
+      let term = if sb then superblock_terminator else block_terminator in
       let rec grow pcc i len =
         (* invariant: [i] decoded at [pc0 + 4*len] under [pcc], with the
            fetch-side checks passed *)
@@ -1100,7 +1161,7 @@ let fill_block m pc0 =
         let nx = next_pcc_of m.mode pcc in
         buf_n.(len) <- Some nx;
         let len = len + 1 in
-        if block_terminator i || len >= max_block_len then len
+        if term i || len >= cap then len
         else
           (* [nx] may be untagged (unrepresentable advance) — then the
              fetch check fails and the block simply ends here; the trap,
@@ -1109,24 +1170,62 @@ let fill_block m pc0 =
           | Some i' -> grow nx i' len
           | None -> len
       in
-      let len = grow m.pcc first 0 in
-      let b =
+      let len = grow pcc0 first 0 in
+      Some
         {
           b_insns = Array.sub buf_i 0 len;
           b_opts = Array.sub buf_o 0 len;
           b_nexts = Array.sub buf_n 0 len;
           b_mode = m.mode;
-          b_pcc = m.pcc;
+          b_pcc = pcc0;
           b_start = pc0;
           b_len = len;
+          b_taken = None;
+          b_taken_epoch = -1;
+          b_cnt_taken = 0;
+          b_fall = None;
+          b_fall_epoch = -1;
+          b_cnt_fall = 0;
         }
-      in
-      m.blocks_filled <- m.blocks_filled + 1;
-      m.insns_translated <- m.insns_translated + len;
-      let bc = m.bcache in
-      let s = Decode_cache.slot bc.Decode_cache.rc pc0 in
-      Decode_cache.rfill bc ~slot:s ~pc:pc0 ~lo:pc0 ~hi:(pc0 + (4 * len)) b;
+
+let install_block m (b : bentry) =
+  m.blocks_filled <- m.blocks_filled + 1;
+  m.insns_translated <- m.insns_translated + b.b_len;
+  let bc = m.bcache in
+  let s = Decode_cache.slot bc.Decode_cache.rc b.b_start in
+  Decode_cache.rfill bc ~slot:s ~pc:b.b_start ~lo:b.b_start
+    ~hi:(b.b_start + (4 * b.b_len))
+    b
+
+(* Translate and install the block at [pc0] (the current PC; the caller
+   just missed in the block cache). *)
+let fill_block m pc0 =
+  match translate m ~pcc0:m.pcc ~pc0 ~sb:false ~cap:max_block_len with
+  | None -> None
+  | Some b ->
+      install_block m b;
       Some b
+
+(* A fall-through edge of [b] crossed the hotness threshold: re-derive
+   the joined path from the block's start as one superblock and install
+   it over the original entry (same start PC, same slot).  Install only
+   if the re-translation actually grew — the environment may refuse to
+   extend (e.g. the next word is untranslatable), and replacing an
+   entry with an identical one would re-fire forever.  Installation
+   bumps the chain epoch: links elsewhere still point at the replaced
+   entry, and following them would keep executing the short block and
+   never reach the superblock. *)
+let form_superblock m (b : bentry) =
+  match
+    translate m ~pcc0:b.b_pcc ~pc0:b.b_start ~sb:true ~cap:max_superblock_len
+  with
+  | Some nb when nb.b_len > b.b_len ->
+      install_block m nb;
+      let bc = m.bcache in
+      bc.Decode_cache.superblocks_formed <-
+        bc.Decode_cache.superblocks_formed + 1;
+      Decode_cache.bump_chain_epoch bc
+  | _ -> ()
 
 (* Same ticket discipline as [ticket_valid], with two differences.
    The compare is used in {e both} modes: the prebuilt [b_nexts] chain
@@ -1169,7 +1268,13 @@ let record_event m pc =
   dst.ev_is_store <- src.ev_is_store;
   dst.ev_trap <- src.ev_trap;
   m.block_pcs.(n) <- pc;
+  m.block_marks.(n) <- m.pending_mark;
+  m.pending_mark <- 0;
   m.block_ev_n <- n + 1
+
+(* Control-flow marks attached to ring entries for trace rendering. *)
+let mark_chained = 1
+let mark_side_exit = 2
 
 (* Execute (a prefix of) a validated block.  The PCC sits at
    [b.b_start]; the caller has established that no interrupt is
@@ -1205,7 +1310,17 @@ let exec_block m (b : bentry) ~fuel ~record =
        if record then record_event m (b.b_start + (4 * i));
        match r with
        | Step_ok ->
-           if
+           if m.last_event.ev_taken_branch && !retired < b.b_len then begin
+             (* taken interior branch of a superblock: the PCC left the
+                straight-line path, so the remaining entries no longer
+                apply — side-exit back into the dispatch loop.  The
+                generic [exec] arm already left exact PCC / minstret /
+                event state, so stopping {e is} the stub. *)
+             bc.Decode_cache.side_exits <- bc.Decode_cache.side_exits + 1;
+             if record then m.block_marks.(m.block_ev_n - 1) <- mark_side_exit;
+             stop := true
+           end
+           else if
              m.last_event.ev_is_store
              && Array.unsafe_get bc.Decode_cache.rc.Decode_cache.tags slot
                 <> b.b_start
@@ -1327,7 +1442,13 @@ let exec_block_fast m (b : bentry) ~fuel =
                (Array.unsafe_get nexts !i)
            with
            | Step_ok ->
-               if
+               if m.last_event.ev_taken_branch && !i < b.b_len - 1 then begin
+                 (* superblock side exit, as in [exec_block]; [exec]
+                    left the exact post-branch state *)
+                 bc.Decode_cache.side_exits <- bc.Decode_cache.side_exits + 1;
+                 stop := true
+               end
+               else if
                  m.last_event.ev_is_store
                  && Array.unsafe_get tags slot <> b.b_start
                then begin
@@ -1380,10 +1501,383 @@ let exec_block_fast m (b : bentry) ~fuel =
      result := enter_trap m cause);
   (!result, !i)
 
+(* Forward declaration: [exec_chain_fast] below needs the edge
+   resolver, which needs [form_superblock] defined above; the resolver
+   itself is defined after the executors only in the source order of
+   this file, so stash a ref.  (Set once, immediately after
+   [chain_edge] is defined.) *)
+let chain_edge_ref : (t -> bentry -> int -> bentry) ref =
+  ref (fun m _ _ -> m.bcache.Decode_cache.rc.Decode_cache.dummy)
+
+(* The whole-round chained executor (the [record:false],
+   [Dispatch_chain] hot path): [exec_block_fast]'s deferred-bookkeeping
+   loop, with block-to-block transfers resolved {e inside} the loop via
+   [chain_next].  Keeping one set of loop state alive across every
+   block of the round is the point — the per-block costs of the
+   composed design (a fresh executor call per block: its refs, its
+   [sync] closure, its result tuple) are paid once per {e round}, which
+   in a hot loop is once per thousands of instructions.  Instruction
+   semantics, store-abort, side-exit and trap behaviour are exactly
+   [exec_block_fast]'s, with one further specialization: the edge
+   instructions ([Jal], [Branch]) run in dedicated inline arms that
+   write their event fields only when the round actually ends on them —
+   on a chained transfer the successor's instructions rewrite (or
+   re-defer) the event anyway.  A [sync] at the chain point before
+   every transfer keeps the PCC and retire counts exact even when the
+   edge was a deferred fall-through. *)
+let exec_chain_fast m (b0 : bentry) ~fuel =
+  let bc = m.bcache in
+  let rc = bc.Decode_cache.rc in
+  let tags = rc.Decode_cache.tags in
+  let dummy = rc.Decode_cache.dummy in
+  let b = ref b0 in
+  let base = ref 0 in  (* retired in completed earlier blocks *)
+  let i = ref 0 in
+  let pending = ref 0 in
+  let result = ref Step_ok in
+  let stop = ref false in
+  (* [sync] reads the current block's PCC-advance array through a ref
+     so the one closure serves every block of the round *)
+  let nexts_r = ref b0.b_nexts in
+  let sync () =
+    if !pending > 0 then begin
+      m.minstret <- m.minstret + !pending;
+      (match Array.unsafe_get !nexts_r (!i - 1) with
+      | Some c -> m.pcc <- c
+      | None -> ());
+      pending := 0
+    end
+  in
+  (* direction of the last executed [Branch] (the inline arm bypasses
+     [last_event], so the chain point cannot read [ev_taken_branch]) *)
+  let br_taken = ref false in
+  (* materialize the event of an inline-handled edge instruction when
+     the round ends on it (on a chained transfer it is skipped: the
+     successor's instructions overwrite or re-defer it) — field-for-
+     field what [finish ~taken] / the deferred epilogue would write *)
+  let edge_event opt taken =
+    let ev = m.last_event in
+    ev.ev_insn <- opt;
+    ev.ev_taken_branch <- taken;
+    ev.ev_mem_bytes <- 0;
+    ev.ev_is_cap_mem <- false;
+    ev.ev_is_store <- false;
+    ev.ev_trap <- None
+  in
+  (try
+     while not !stop do
+       (* per-block: bind the block's arrays as immutables so the inner
+          per-instruction loop is register-local, exactly like
+          [exec_block_fast] — the merged executor must not pay an extra
+          indirection per field access or it gives back the per-block
+          savings it exists to collect *)
+       let blk = !b in
+       let insns = blk.b_insns in
+       let opts = blk.b_opts in
+       let nexts = blk.b_nexts in
+       let b_start = blk.b_start in
+       let b_len = blk.b_len in
+       let slot = (b_start lsr 2) land rc.Decode_cache.mask in
+       let rem = fuel - !base in
+       let n = if rem < b_len then rem else b_len in
+       nexts_r := nexts;
+       i := 0;
+       while (not !stop) && !i < n do
+         (match Array.unsafe_get insns !i with
+         | Insn.Lui (rd, imm20) ->
+             set_reg_int m rd (imm20 lsl 12);
+             incr pending
+         | Insn.Op_imm (op, rd, rs1, imm) ->
+             set_reg_int m rd (alu_exec op (reg_int m rs1) (imm land mask32));
+             incr pending
+         | Insn.Op (op, rd, rs1, rs2) ->
+             set_reg_int m rd (alu_exec op (reg_int m rs1) (reg_int m rs2));
+             incr pending
+         | Insn.Mul_div (op, rd, rs1, rs2) ->
+             set_reg_int m rd (muldiv_exec op (reg_int m rs1) (reg_int m rs2));
+             incr pending
+         (* memory and capability-register instructions read neither
+            the PCC nor [minstret], so — unlike [exec_block_fast] —
+            they run {e inside} the deferred window; the trap handler
+            below [sync]s before [enter_trap], which is the only place
+            their exact PCC is observable *)
+         | Insn.Load { signed; width; rd; rs1; off } ->
+             ignore (do_load m ~ridx:rs1 ~rs1 ~off ~width ~signed ~rd);
+             incr pending
+         | Insn.Store { width; rs2; rs1; off } ->
+             ignore (do_store m ~ridx:rs1 ~rs1 ~off ~width ~rs2);
+             incr pending;
+             if Array.unsafe_get tags slot <> b_start then begin
+               m.block_aborts <- m.block_aborts + 1;
+               stop := true
+             end
+         | Insn.Clc (rd, rs1, off) ->
+             do_clc m ~rd ~rs1 ~off;
+             incr pending
+         | Insn.Csc (rs2, rs1, off) ->
+             do_csc m ~rs2 ~rs1 ~off;
+             incr pending;
+             if Array.unsafe_get tags slot <> b_start then begin
+               m.block_aborts <- m.block_aborts + 1;
+               stop := true
+             end
+         (* the edge instructions, inline: in chained execution every
+            block ends in one, so the generic arm's full re-dispatch
+            and unconditional event writes are a per-block tax.  The
+            semantics below are verbatim [exec]'s [Jal]/[Branch] arms
+            minus [finish] — the event is written only if the round
+            actually ends here (side exit, or stop at the chain
+            point). *)
+         | Insn.Jal (rd, off) ->
+             sync ();
+             do_jal m rd off;
+             m.minstret <- m.minstret + 1
+         | Insn.Branch (cond, rs1, rs2, off) ->
+             if branch_taken cond (reg_int m rs1) (reg_int m rs2) then begin
+               sync ();
+               let pc = Capability.address m.pcc in
+               let target = (pc + off) land mask32 in
+               if
+                 m.mode = Cheriot
+                 && not (Capability.in_bounds m.pcc ~size:4 target)
+               then raise (Trap (Cheri_fault (Cheri_bounds, 16)));
+               m.pcc <- { m.pcc with Capability.addr = target };
+               m.minstret <- m.minstret + 1;
+               br_taken := true;
+               if !i < b_len - 1 then begin
+                 (* taken interior branch of a superblock: side exit *)
+                 bc.Decode_cache.side_exits <- bc.Decode_cache.side_exits + 1;
+                 edge_event (Array.unsafe_get opts !i) true;
+                 stop := true
+               end
+             end
+             else begin
+               (* not taken: fully deferred, like any plain insn (the
+                  prebuilt [b_nexts] advance is the fall-through) *)
+               br_taken := false;
+               incr pending
+             end
+         | ( Insn.Cincaddr _ | Insn.Cincaddrimm _ | Insn.Csetaddr _
+           | Insn.Csetbounds _ | Insn.Csetboundsexact _ | Insn.Csetboundsimm _
+           | Insn.Crrl _ | Insn.Cram _ | Insn.Candperm _ | Insn.Ccleartag _
+           | Insn.Cmove _ | Insn.Cseal _ | Insn.Cunseal _ | Insn.Cget _
+           | Insn.Csub _ | Insn.Ctestsubset _ | Insn.Csetequalexact _ ) as insn
+           ->
+             exec_cap m insn;
+             incr pending
+         | insn -> (
+             sync ();
+             match
+               exec m insn
+                 (Array.unsafe_get opts !i)
+                 (Array.unsafe_get nexts !i)
+             with
+             | Step_ok ->
+                 if m.last_event.ev_taken_branch && !i < b_len - 1 then begin
+                   bc.Decode_cache.side_exits <-
+                     bc.Decode_cache.side_exits + 1;
+                   stop := true
+                 end
+                 else if
+                   m.last_event.ev_is_store
+                   && Array.unsafe_get tags slot <> b_start
+                 then begin
+                   m.block_aborts <- m.block_aborts + 1;
+                   stop := true
+                 end
+             | (Step_trap _ | Step_waiting | Step_halted | Step_double_fault)
+               as r ->
+                 result := r;
+                 stop := true));
+         incr i
+       done;
+       if not !stop then
+         if !i = b_len then begin
+           let edge =
+             match Array.unsafe_get insns (b_len - 1) with
+             | Insn.Jal _ -> 1
+             | Insn.Branch _ -> if !br_taken then 1 else 0
+             | _ -> -1
+           in
+           if edge < 0 then
+             (* generic terminator (Jalr/Mret/…): its [exec] arm left
+                the event exact *)
+             stop := true
+           else begin
+             (* the fall edge may still be deferred: materialize PCC
+                (and retire counts) before the probe below or a stop *)
+             sync ();
+             if !base + !i < fuel then begin
+               let succ = !chain_edge_ref m blk edge in
+               if succ == dummy then begin
+                 edge_event (Array.unsafe_get opts (b_len - 1)) (edge = 1);
+                 stop := true
+               end
+               else begin
+                 base := !base + !i;
+                 b := succ
+               end
+             end
+             else begin
+               edge_event (Array.unsafe_get opts (b_len - 1)) (edge = 1);
+               stop := true
+             end
+           end
+         end
+         else stop := true
+     done;
+     if !pending > 0 then begin
+       m.minstret <- m.minstret + !pending;
+       (match Array.unsafe_get (!b).b_nexts (!i - 1) with
+       | Some c -> m.pcc <- c
+       | None -> ());
+       pending := 0;
+       let ev = m.last_event in
+       (match Array.unsafe_get (!b).b_insns (!i - 1) with
+       | Insn.Load { width; _ } ->
+           ev.ev_mem_bytes <- (match width with Insn.B -> 1 | H -> 2 | W -> 4);
+           ev.ev_is_cap_mem <- false;
+           ev.ev_is_store <- false
+       | Insn.Store { width; _ } ->
+           ev.ev_mem_bytes <- (match width with Insn.B -> 1 | H -> 2 | W -> 4);
+           ev.ev_is_cap_mem <- false;
+           ev.ev_is_store <- true
+       | Insn.Clc _ ->
+           ev.ev_mem_bytes <- 8;
+           ev.ev_is_cap_mem <- true;
+           ev.ev_is_store <- false
+       | Insn.Csc _ ->
+           ev.ev_mem_bytes <- 8;
+           ev.ev_is_cap_mem <- true;
+           ev.ev_is_store <- true
+       | _ ->
+           ev.ev_mem_bytes <- 0;
+           ev.ev_is_cap_mem <- false;
+           ev.ev_is_store <- false);
+       ev.ev_insn <- Array.unsafe_get (!b).b_opts (!i - 1);
+       ev.ev_taken_branch <- false;
+       ev.ev_trap <- None
+     end
+   with Trap cause ->
+     (* the raiser may have been inside the deferred window (loads,
+        stores, cap ops defer here): materialize first — [pending]
+        covers only instructions {e before} the raiser, so [sync]
+        leaves the PCC pointing exactly at it for [enter_trap] *)
+     sync ();
+     m.last_event <- { no_event with ev_trap = Some cause };
+     incr i;
+     result := enter_trap m cause);
+  (!result, !base + !i)
+
+(* [b] just ran to completion and its terminator was a direct [Jal] or
+   a [Branch]: resolve the successor block of the edge that was taken,
+   preferring the chained link.
+
+   A valid link is followed {e without} probing the cache or ticket-
+   checking the successor — the exactness argument, in two halves:
+
+   - The link was installed at a traversal where the successor passed
+     the full probe + [block_ticket_valid] under the then-live PCC.
+     Both edge targets are static (Jal offset / branch target /
+     fall-through), and [exec] derives the post-edge PCC from the
+     pre-edge PCC by changing only the address, so every later
+     traversal of the same edge from a ticket-valid [b] produces a PCC
+     whose compared fields are {e value-equal} to link time
+     ([block_ticket_valid] accepts exactly value equality, so skipping
+     the re-compare loses nothing).  The mode is re-checked because it
+     is not derived from the PCC.
+   - Validity over time is the chain epoch: anything that can stale
+     any translation (store-kill, flush, superblock install) bumps it,
+     and a link is only followed while its recorded epoch matches.
+
+   On a stale or absent link the successor is re-resolved with the
+   full probe + ticket check at the live PC and the link is
+   (re)installed under the current epoch; a cache miss (or a
+   non-chainable terminator) returns the cache's dummy entry — a
+   physical-equality sentinel instead of an [option], so the per-edge
+   hot path never allocates — and the caller falls back to the normal
+   dispatch path. *)
+let chain_edge m (b : bentry) edge =
+  begin
+    let bc = m.bcache in
+    if edge = 1 then b.b_cnt_taken <- b.b_cnt_taken + 1
+    else begin
+      b.b_cnt_fall <- b.b_cnt_fall + 1;
+      if
+        b.b_cnt_fall >= m.hot_threshold
+        && b.b_cnt_fall > 4 * b.b_cnt_taken
+        && b.b_len < max_superblock_len
+      then begin
+        (* Hot {e and} fall-dominated: extending across a branch whose
+           taken direction dominates would turn the hot edge into a
+           side exit on every traversal — strictly worse than chaining
+           it.  The ratio gate keeps re-checking each fall traversal
+           past the threshold until it holds, then the attempt latches:
+           on success the entry is replaced and [b] goes unreachable;
+           on failure (the path would not grow) retrying would
+           re-translate on every traversal. *)
+        form_superblock m b;
+        b.b_cnt_fall <- min_int
+      end
+    end;
+    let epoch = bc.Decode_cache.chain_epoch in
+    let link = if edge = 1 then b.b_taken else b.b_fall in
+    let lep = if edge = 1 then b.b_taken_epoch else b.b_fall_epoch in
+    match link with
+    | Some succ when lep = epoch && succ.b_mode = m.mode ->
+        bc.Decode_cache.chain_hits <- bc.Decode_cache.chain_hits + 1;
+        succ
+    | _ ->
+        if lep >= 0 && lep <> epoch then
+          bc.Decode_cache.chain_unlinks <- bc.Decode_cache.chain_unlinks + 1;
+        let pc = Capability.address m.pcc in
+        let rc = bc.Decode_cache.rc in
+        let s = (pc lsr 2) land rc.Decode_cache.mask in
+        if
+          Array.unsafe_get rc.Decode_cache.tags s = pc
+          && block_ticket_valid m (Array.unsafe_get rc.Decode_cache.payloads s)
+        then begin
+          rc.Decode_cache.hits <- rc.Decode_cache.hits + 1;
+          let succ = Array.unsafe_get rc.Decode_cache.payloads s in
+          if edge = 1 then begin
+            b.b_taken <- Some succ;
+            b.b_taken_epoch <- epoch
+          end
+          else begin
+            b.b_fall <- Some succ;
+            b.b_fall_epoch <- epoch
+          end;
+          succ
+        end
+        else rc.Decode_cache.dummy
+        (* miss: the caller's fill path counts it and fills *)
+  end
+
+(* The recording path's entry point: derive the edge from the
+   terminator and the architectural event (the generic [exec] arm set
+   [ev_taken_branch]); the merged fast executor calls [chain_edge]
+   directly because it tracks the branch direction itself. *)
+let chain_next m (b : bentry) =
+  let edge =
+    match Array.unsafe_get b.b_insns (b.b_len - 1) with
+    | Insn.Jal _ -> 1
+    | Insn.Branch _ -> if m.last_event.ev_taken_branch then 1 else 0
+    | _ -> -1 (* Jalr/Mret/…: indirect or posture-changing, never chained *)
+  in
+  if edge < 0 then m.bcache.Decode_cache.rc.Decode_cache.dummy
+  else chain_edge m b edge
+
+let () = chain_edge_ref := chain_edge
+
 (* One round of the block dispatch path: interrupt/WFI handling exactly
-   as [step_gen], then up to [fuel] instructions of the block at the
-   PC.  The hand-inlined probe mirrors [fetch_cached]. *)
-let block_round m ~fuel ~record =
+   as [step_gen], then up to [fuel] instructions starting from the
+   block at the PC.  With [chain:true] the round keeps going across
+   direct [Jal]/[Branch] edges via [chain_next] while fuel remains —
+   sound without re-running the boundary interrupt check, because
+   neither edge instruction can change the delivery predicate (the
+   instructions that can still terminate every translation unit and
+   end the chain).  The hand-inlined probe mirrors [fetch_cached]. *)
+let block_round m ~fuel ~record ~chain =
   if m.waiting && interrupt_pending m then m.waiting <- false;
   if m.waiting then (Step_waiting, 1)
   else if m.mie && interrupt_pending m then begin
@@ -1396,6 +1890,29 @@ let block_round m ~fuel ~record =
     (r, 1)
   end
   else begin
+    let dummy = m.bcache.Decode_cache.rc.Decode_cache.dummy in
+    let rec go b fuel used =
+      let r, n =
+        if record then exec_block m b ~fuel ~record
+        else exec_block_fast m b ~fuel
+      in
+      let used = used + n in
+      match r with
+      | Step_ok when chain && n = b.b_len && fuel > n ->
+          let succ = chain_next m b in
+          if succ != dummy then begin
+            if record then m.pending_mark <- mark_chained;
+            go succ (fuel - n) used
+          end
+          else (r, used)
+      | r -> (r, used)
+    in
+    (* the recording path walks block-by-block (it must mark each ring
+       entry); the fast path runs the whole round in one merged
+       executor with the transfers inlined *)
+    let exec_from b =
+      if chain && not record then exec_chain_fast m b ~fuel else go b fuel 0
+    in
     let pc = Capability.address m.pcc in
     let rc = m.bcache.Decode_cache.rc in
     let s = (pc lsr 2) land rc.Decode_cache.mask in
@@ -1404,16 +1921,12 @@ let block_round m ~fuel ~record =
       && block_ticket_valid m (Array.unsafe_get rc.Decode_cache.payloads s)
     then begin
       rc.Decode_cache.hits <- rc.Decode_cache.hits + 1;
-      let b = Array.unsafe_get rc.Decode_cache.payloads s in
-      if record then exec_block m b ~fuel ~record
-      else exec_block_fast m b ~fuel
+      exec_from (Array.unsafe_get rc.Decode_cache.payloads s)
     end
     else begin
       rc.Decode_cache.misses <- rc.Decode_cache.misses + 1;
       match fill_block m pc with
-      | Some b ->
-          if record then exec_block m b ~fuel ~record
-          else exec_block_fast m b ~fuel
+      | Some b -> exec_from b
       | None ->
           (* untranslatable first word (MMIO-backed code, illegal word,
              failing fetch checks): one exact per-step step *)
@@ -1428,7 +1941,17 @@ let block_round m ~fuel ~record =
    ([block_events]/[block_pcs], [block_ev_n] live entries). *)
 let step_block m =
   m.block_ev_n <- 0;
-  let r, _ = block_round m ~fuel:max_block_len ~record:true in
+  m.pending_mark <- 0;
+  let r, _ = block_round m ~fuel:max_block_len ~record:true ~chain:false in
+  r
+
+(* [step_chain]: like [step_block] but follows chained edges, so one
+   round can retire up to [round_cap] instructions across many blocks
+   (the ring holds them all). *)
+let step_chain m =
+  m.block_ev_n <- 0;
+  m.pending_mark <- 0;
+  let r, _ = block_round m ~fuel:round_cap ~record:true ~chain:true in
   r
 
 let run ?(fuel = 10_000_000) ?(fast = false) ?dispatch m =
@@ -1438,15 +1961,16 @@ let run ?(fuel = 10_000_000) ?(fast = false) ?dispatch m =
     | None -> if fast then Dispatch_cached else Dispatch_ref
   in
   match dispatch with
-  | Dispatch_block ->
+  | Dispatch_block | Dispatch_chain ->
       (* Batched loop: fuel accounting is identical to the per-step
          loop below — each retired instruction, delivered interrupt, or
-         trap consumes one unit, and a block is cut when the remaining
-         fuel runs out inside it. *)
+         trap consumes one unit, and a block (or chained round) is cut
+         when the remaining fuel runs out inside it. *)
+      let chain = dispatch = Dispatch_chain in
       let rec go n =
         if n >= fuel then (Step_ok, n)
         else
-          let r, used = block_round m ~fuel:(fuel - n) ~record:false in
+          let r, used = block_round m ~fuel:(fuel - n) ~record:false ~chain in
           let n = n + used in
           match r with
           | Step_ok | Step_trap _ -> go n
@@ -1481,10 +2005,14 @@ type block_stats = {
   blocks_filled : int;
   insns_translated : int;  (* sum of fill-time block lengths *)
   block_aborts : int;  (* self-modifying mid-block abandonments *)
+  chain_hits : int;  (* transfers that followed a chained link *)
+  chain_unlinks : int;  (* stale links observed at traversal *)
+  superblocks_formed : int;
+  side_exits : int;  (* taken interior branches of superblocks *)
 }
 
 let block_stats m =
-  let s = Decode_cache.stats m.bcache.Decode_cache.rc in
+  let s = Decode_cache.rstats m.bcache in
   {
     block_hits = s.Decode_cache.hits;
     block_misses = s.Decode_cache.misses;
@@ -1493,6 +2021,10 @@ let block_stats m =
     blocks_filled = m.blocks_filled;
     insns_translated = m.insns_translated;
     block_aborts = m.block_aborts;
+    chain_hits = s.Decode_cache.chain_hits;
+    chain_unlinks = s.Decode_cache.chain_unlinks;
+    superblocks_formed = s.Decode_cache.superblocks_formed;
+    side_exits = s.Decode_cache.side_exits;
   }
 
 let avg_block_len (s : block_stats) =

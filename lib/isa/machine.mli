@@ -15,11 +15,13 @@
 type mode = Cheriot | Rv32
 
 (** Which fetch/decode machinery drives execution: the re-decoding
-    reference interpreter, the decoded-instruction cache, or the
-    basic-block translation cache with its batched run loop.  All three
-    are observationally identical per retired instruction (enforced by
-    [test/test_differential.ml]). *)
-type dispatch = Dispatch_ref | Dispatch_cached | Dispatch_block
+    reference interpreter, the decoded-instruction cache, the
+    basic-block translation cache with its batched run loop, or the
+    chained variant that additionally links blocks across direct
+    [Jal]/[Branch] edges and re-translates hot fall-through paths into
+    superblocks.  All four are observationally identical per retired
+    instruction (enforced by [test/test_differential.ml]). *)
+type dispatch = Dispatch_ref | Dispatch_cached | Dispatch_block | Dispatch_chain
 
 (** CHERI exception causes (reported via [mcause = 28] with the cause and
     the faulting register index in [mtval], as in CHERI RISC-V). *)
@@ -112,10 +114,20 @@ type t = {
   mutable fm_base : int;
   mutable fm_limit : int;  (** 0 = window invalid *)
   block_events : event array;
-      (** retirement ring filled by {!step_block}: one copied event per
-          instruction of the last round *)
+      (** retirement ring filled by {!step_block} / {!step_chain}: one
+          copied event per instruction of the last round *)
   block_pcs : int array;  (** PCs parallel to [block_events] *)
+  block_marks : int array;
+      (** control-flow marks parallel to [block_events]: 0 = plain,
+          1 = first instruction after a chained transfer, 2 = taken
+          interior branch that side-exited a superblock *)
   mutable block_ev_n : int;  (** live entries in the ring *)
+  mutable pending_mark : int;
+      (** mark attached to the next recorded ring entry *)
+  mutable hot_threshold : int;
+      (** fall-through-edge traversal count at which [Dispatch_chain]
+          re-translates the joined path as a superblock (default 32;
+          tests lower it to fuzz the crossing) *)
 }
 
 and centry = {
@@ -153,6 +165,17 @@ and bentry = {
       (** fetch ticket: the fill-time block-start PCC *)
   b_start : int;  (** address of [b_insns.(0)] *)
   b_len : int;
+  mutable b_taken : bentry option;
+      (** chained successor of the taken [Jal]/[Branch] edge, valid
+          while [b_taken_epoch] equals the cache's chain epoch
+          ([Dispatch_chain] only; [-1] = never linked) *)
+  mutable b_taken_epoch : int;
+  mutable b_cnt_taken : int;  (** taken-edge traversal count *)
+  mutable b_fall : bentry option;  (** not-taken-edge successor *)
+  mutable b_fall_epoch : int;
+  mutable b_cnt_fall : int;
+      (** fall-through traversal count; crossing [hot_threshold]
+          triggers superblock formation *)
 }
 
 val create : ?mode:mode -> ?load_filter:bool -> Cheriot_mem.Bus.t -> t
@@ -200,8 +223,32 @@ val step_block : t -> result
     instruction inside a block can change the delivery predicate, so
     this is exactly per-step equivalent. *)
 
+val step_chain : t -> result
+(** Like {!step_block}, but follows chained block-to-block links across
+    direct [Jal]/[Branch] edges without re-probing the cache or
+    re-checking tickets, and re-translates hot fall-through paths into
+    superblocks — so one round retires up to [round_cap] (128)
+    instructions across many blocks, all recorded in the ring.  Edge
+    instructions cannot change the interrupt-delivery predicate, so
+    checking only between rounds stays exactly per-step equivalent. *)
+
 val max_block_len : int
 (** Upper bound on instructions per translated block (16). *)
+
+val max_superblock_len : int
+(** Upper bound on instructions per superblock (64). *)
+
+val round_cap : int
+(** Fuel ceiling of one recorded chained round (128); bounds the
+    retirement ring. *)
+
+val mark_chained : int
+(** [block_marks] value on the first instruction after a chained
+    transfer. *)
+
+val mark_side_exit : int
+(** [block_marks] value on a taken interior branch that side-exited a
+    superblock. *)
 
 val run : ?fuel:int -> ?fast:bool -> ?dispatch:dispatch -> t -> result * int
 (** Step until halt/double-fault/waiting or [fuel] (default 10M)
@@ -209,10 +256,12 @@ val run : ?fuel:int -> ?fast:bool -> ?dispatch:dispatch -> t -> result * int
     Traps are not stopping events (the handler runs).  [dispatch]
     selects the execution machinery (default [Dispatch_ref]; the legacy
     [~fast:true] is [Dispatch_cached]).  [Dispatch_block] runs the
-    batched block loop: fuel accounting is identical — each retired
+    batched block loop ([Dispatch_chain] additionally follows chained
+    edges within a round): fuel accounting is identical — each retired
     instruction, delivered interrupt or trap costs one unit, and a
-    block is cut when the remaining fuel runs out inside it, so chunked
-    runs resume exactly where a per-step run would. *)
+    block (or chained round) is cut when the remaining fuel runs out
+    inside it, so chunked runs resume exactly where a per-step run
+    would. *)
 
 val decode_stats : t -> Decode_cache.stats
 (** Hit/miss/invalidation counters of the decoded-instruction cache. *)
@@ -225,6 +274,12 @@ type block_stats = {
   blocks_filled : int;
   insns_translated : int;  (** sum of fill-time block lengths *)
   block_aborts : int;  (** self-modifying mid-block abandonments *)
+  chain_hits : int;
+      (** transfers that followed a chained link, skipping the probe
+          and ticket re-check *)
+  chain_unlinks : int;  (** stale links observed at traversal time *)
+  superblocks_formed : int;
+  side_exits : int;  (** taken interior branches of superblocks *)
 }
 
 val block_stats : t -> block_stats

@@ -10,6 +10,9 @@ type entry = {
   tr_insn : Insn.t option;
   tr_result : Machine.result;
   tr_cycles : int;  (** cumulative, if a perf harness drives the clock *)
+  tr_mark : int;
+      (** control-flow mark ([Machine.mark_chained] /
+          [Machine.mark_side_exit]); 0 on non-chained dispatch paths *)
 }
 
 let pp_result fmt = function
@@ -19,18 +22,27 @@ let pp_result fmt = function
   | Machine.Step_halted -> Format.fprintf fmt "  == halted =="
   | Machine.Step_double_fault -> Format.fprintf fmt "  ** double fault **"
 
+(* Chained transfers and superblock side exits render distinctly so a
+   chained trace can be eyeballed against a per-step one: the
+   instruction stream is identical, only the annotations differ. *)
+let pp_mark fmt m =
+  if m = Machine.mark_chained then Format.fprintf fmt "  [chain]"
+  else if m = Machine.mark_side_exit then Format.fprintf fmt "  [side-exit]"
+
 let pp_entry fmt e =
   (match e.tr_insn with
   | Some i -> Format.fprintf fmt "%8d  %8d  0x%08x  %a" e.tr_index e.tr_cycles e.tr_pc Insn.pp i
   | None -> Format.fprintf fmt "%8d  %8d  0x%08x  <no retire>" e.tr_index e.tr_cycles e.tr_pc);
+  pp_mark fmt e.tr_mark;
   pp_result fmt e.tr_result
 
 (** Step [m] up to [fuel] instructions, calling [f] per retired
     instruction with a trace entry.  Returns the final result and step
-    count.  [dispatch] picks the execution machinery; the block path
-    emits one entry per instruction of each executed block (from the
-    machine's retirement ring), so the rendered trace is the same
-    stream the reference path produces. *)
+    count.  [dispatch] picks the execution machinery; the block and
+    chain paths emit one entry per instruction of each executed round
+    (from the machine's retirement ring), so the rendered trace is the
+    same stream the reference path produces — chained transfers and
+    superblock side exits carry a [tr_mark]. *)
 let run ?(fuel = 1_000_000) ?(dispatch = Machine.Dispatch_ref) m ~f =
   match dispatch with
   | Machine.Dispatch_ref | Machine.Dispatch_cached ->
@@ -51,6 +63,7 @@ let run ?(fuel = 1_000_000) ?(dispatch = Machine.Dispatch_ref) m ~f =
               tr_insn = m.Machine.last_event.Machine.ev_insn;
               tr_result = r;
               tr_cycles = m.Machine.mcycle;
+              tr_mark = 0;
             };
           match r with
           | Machine.Step_ok | Machine.Step_trap _ -> go (i + 1)
@@ -60,12 +73,17 @@ let run ?(fuel = 1_000_000) ?(dispatch = Machine.Dispatch_ref) m ~f =
         end
       in
       go 0
-  | Machine.Dispatch_block ->
+  | Machine.Dispatch_block | Machine.Dispatch_chain ->
+      let round =
+        match dispatch with
+        | Machine.Dispatch_chain -> Machine.step_chain
+        | _ -> Machine.step_block
+      in
       let rec go i =
         if i >= fuel then (Machine.Step_ok, i)
         else begin
           let pc = Capability.address m.Machine.pcc in
-          let r = Machine.step_block m in
+          let r = round m in
           let n = m.Machine.block_ev_n in
           let i =
             if n = 0 then begin
@@ -77,6 +95,7 @@ let run ?(fuel = 1_000_000) ?(dispatch = Machine.Dispatch_ref) m ~f =
                   tr_insn = None;
                   tr_result = r;
                   tr_cycles = m.Machine.mcycle;
+                  tr_mark = 0;
                 };
               i + 1
             end
@@ -87,11 +106,12 @@ let run ?(fuel = 1_000_000) ?(dispatch = Machine.Dispatch_ref) m ~f =
                     tr_index = i + k;
                     tr_pc = m.Machine.block_pcs.(k);
                     tr_insn = m.Machine.block_events.(k).Machine.ev_insn;
-                    (* intermediate instructions of a block all retired
+                    (* intermediate instructions of a round all retired
                        normally; only the round's last entry carries the
                        round result *)
                     tr_result = (if k = n - 1 then r else Machine.Step_ok);
                     tr_cycles = m.Machine.mcycle;
+                    tr_mark = m.Machine.block_marks.(k);
                   }
               done;
               i + n

@@ -1,7 +1,7 @@
 module Machine = Cheriot_isa.Machine
 module Decode_cache = Cheriot_isa.Decode_cache
 
-type dispatch = Reference | Cached | Block
+type dispatch = Reference | Cached | Block | Chain
 
 type stats = {
   cycles : int;
@@ -69,10 +69,9 @@ let charge t ev =
   (match t.revoker with
   | Some r ->
       (* The background engine steals the load-store unit whenever the
-         main pipeline is not using it (3.3.3). *)
-      for _ = 1 to max 0 (cycles - busy) do
-        Revoker.tick r
-      done
+         main pipeline is not using it (3.3.3): grant this
+         instruction's idle cycles in one batched call. *)
+      Revoker.tick_n r (max 0 (cycles - busy))
   | None -> ());
   let dc = Machine.decode_stats t.machine in
   let bs = Machine.block_stats t.machine in
@@ -114,7 +113,7 @@ let step t =
       | Machine.Step_double_fault ->
           charge t t.machine.Machine.last_event);
       r
-  | Block ->
+  | Block | Chain ->
       let m = t.machine in
       (* Exactness guard: charging advances [mcycle] per instruction,
          so with interrupts enabled and the timer armed a comparator
@@ -130,7 +129,10 @@ let step t =
         r
       end
       else begin
-        let r = Machine.step_block m in
+        let r =
+          if t.dispatch = Chain then Machine.step_chain m
+          else Machine.step_block m
+        in
         (* A round ending in [Step_waiting] retired its instructions
            (if any) and then hit WFI: charge the retirements, then one
            idle cycle for the wait itself — exactly what the per-step

@@ -6,13 +6,15 @@
     every instruction ([Machine.step]); [Cached] runs from the
     decoded-instruction cache ([Machine.step_fast]); [Block] runs whole
     translated basic blocks ([Machine.step_block]), charging each
-    retired instruction from the block's event ring — and falls back to
+    retired instruction from the block's event ring; [Chain]
+    additionally follows chained block-to-block links and superblocks
+    ([Machine.step_chain]).  The block/chain paths fall back to
     per-step cached dispatch whenever interrupts are enabled with the
     timer armed, where a mid-block [mcycle] comparator crossing could
-    otherwise be observable.  All three produce identical architectural
+    otherwise be observable.  All four produce identical architectural
     traces and cycle counts — simulator-speed optimizations, invisible
     to the modelled hardware. *)
-type dispatch = Reference | Cached | Block
+type dispatch = Reference | Cached | Block | Chain
 
 type stats = {
   cycles : int;

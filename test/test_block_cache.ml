@@ -222,6 +222,153 @@ let test_bypass_needs_flush () =
   let s = Machine.block_stats m in
   Alcotest.(check bool) "flush accounted" true (s.Machine.block_flushes >= 1)
 
+(* --- block chaining and superblocks ------------------------------------ *)
+
+let run_chain m =
+  match Machine.run ~dispatch:Machine.Dispatch_chain m with
+  | Machine.Step_halted, n -> n
+  | r, _ -> Alcotest.failf "did not halt: %s" (result_name r)
+
+(* A two-block loop joined by a direct jal — the chain path must follow
+   both the jal edge and the backedge without re-probing, and a store
+   that kills a chained successor must unlink the edge {e before} the
+   next transfer: after the patch, the re-run must execute the patched
+   semantics, never the stale linked block. *)
+let chained_loop =
+  Insn.
+    [
+      Op_imm (Add, 1, 1, 1);
+      (* head: block A *)
+      Jal (0, 4);
+      (* A -> B, direct *)
+      Op_imm (Add, 2, 2, 1);
+      (* next: block B (the patch target) *)
+      Branch (Ne, 1, 6, -12);
+      (* B -> A taken, B -> C fall *)
+      Ebreak;
+    ]
+
+let test_chain_links_and_unlink () =
+  let mk () =
+    let m, _ = boot (List.map Encode.encode chained_loop) in
+    Machine.set_reg_int m 6 4;
+    m
+  in
+  let ref_m = mk () in
+  let _, n_ref = Machine.run ~dispatch:Machine.Dispatch_ref ref_m in
+  let m = mk () in
+  let n = run_chain m in
+  Alcotest.(check int) "same retired count" n_ref n;
+  Alcotest.(check string) "same state hash" (Machine.state_hash ref_m)
+    (Machine.state_hash m);
+  let s = Machine.block_stats m in
+  Alcotest.(check bool) "transfers chained" true (s.Machine.chain_hits > 0);
+  Alcotest.(check int) "no stale links yet" 0 s.Machine.chain_unlinks;
+  (* the block path must leave the chain counters untouched *)
+  let mb = mk () in
+  let _ = run_block mb in
+  Alcotest.(check int) "block dispatch never chains" 0
+    (Machine.block_stats mb).Machine.chain_hits;
+  (* patch B's add through the bus: the snoop kills B and bumps the
+     chain epoch, so A's link to the dead B must not be followed *)
+  Bus.write m.Machine.bus ~width:4 (code_base + 8)
+    (Encode.encode (Insn.Op_imm (Add, 2, 2, 16)));
+  let s2 = Machine.block_stats m in
+  Alcotest.(check bool) "the store invalidated the successor" true
+    (s2.Machine.block_invalidations > s.Machine.block_invalidations);
+  reset m;
+  Machine.set_reg_int m 6 4;
+  let _ = run_chain m in
+  Alcotest.(check int) "patched semantics, not the stale link" (16 * 4)
+    (Machine.reg_int m 2);
+  let s3 = Machine.block_stats m in
+  Alcotest.(check bool) "stale edge counted as unlink" true
+    (s3.Machine.chain_unlinks > 0)
+
+(* [flush_decode_cache] must bump the chain epoch in one step — every
+   link installed before the flush is stale, whatever block it lives
+   in. *)
+let test_chain_epoch_flush () =
+  let m, _ = boot (List.map Encode.encode chained_loop) in
+  Machine.set_reg_int m 6 4;
+  let _ = run_chain m in
+  let e1 = Decode_cache.chain_epoch m.Machine.bcache in
+  Machine.flush_decode_cache m;
+  let e2 = Decode_cache.chain_epoch m.Machine.bcache in
+  Alcotest.(check bool) "flush bumps the chain epoch" true (e2 > e1);
+  reset m;
+  Machine.set_reg_int m 6 4;
+  let _ = run_chain m in
+  Alcotest.(check int) "re-run after flush still correct" (4 + 4)
+    (Machine.reg_int m 1 + Machine.reg_int m 2)
+
+(* A hot fall-dominated branch grows a superblock across its not-taken
+   direction; on the iteration where the branch finally fires it is an
+   {e interior} taken branch — a side exit that must land at the exact
+   architectural point (PC, minstret, registers) the reference path
+   reaches. *)
+let test_superblock_side_exit () =
+  let program =
+    Insn.
+      [
+        Op_imm (Add, 1, 1, 1);
+        (* head: counter *)
+        Branch (Eq, 1, 6, 12);
+        (* exit branch: not taken until r1 = r6 *)
+        Op_imm (Add, 2, 2, 1);
+        Jal (0, -12);
+        (* backedge *)
+        Ebreak;
+        (* out: *)
+      ]
+  in
+  let mk () =
+    let m, _ = boot (List.map Encode.encode program) in
+    Machine.set_reg_int m 6 20;
+    m
+  in
+  let ref_m = mk () in
+  let _, n_ref = Machine.run ~dispatch:Machine.Dispatch_ref ref_m in
+  let m = mk () in
+  m.Machine.hot_threshold <- 4;
+  let n = run_chain m in
+  Alcotest.(check int) "same retired count" n_ref n;
+  Alcotest.(check int) "same minstret" ref_m.Machine.minstret
+    m.Machine.minstret;
+  Alcotest.(check string) "side exit lands on the exact state"
+    (Machine.state_hash ref_m) (Machine.state_hash m);
+  let s = Machine.block_stats m in
+  Alcotest.(check bool) "the hot fall edge grew a superblock" true
+    (s.Machine.superblocks_formed >= 1);
+  Alcotest.(check bool) "the exit took a side exit" true
+    (s.Machine.side_exits >= 1)
+
+(* The recording entry point ([Trace.run ~dispatch:Dispatch_chain]) must
+   emit the same per-instruction stream as the reference path, with
+   chained transfers carrying [Machine.mark_chained] — the mark is how a
+   rendered trace distinguishes a linked transfer from a probe. *)
+let test_trace_marks_chained_transfers () =
+  let collect dispatch =
+    let m, _ = boot (List.map Encode.encode chained_loop) in
+    Machine.set_reg_int m 6 4;
+    let entries = ref [] in
+    let _ = Trace.run m ~fuel:10_000 ~dispatch ~f:(fun e -> entries := e :: !entries) in
+    (m, List.rev !entries)
+  in
+  let ref_m, ref_t = collect Machine.Dispatch_ref in
+  let chn_m, chn_t = collect Machine.Dispatch_chain in
+  Alcotest.(check string) "traced runs agree on state"
+    (Machine.state_hash ref_m) (Machine.state_hash chn_m);
+  Alcotest.(check int) "same trace length" (List.length ref_t)
+    (List.length chn_t);
+  List.iter2
+    (fun r c ->
+      Alcotest.(check int) "same traced pc" r.Trace.tr_pc c.Trace.tr_pc;
+      Alcotest.(check int) "reference trace is unmarked" 0 r.Trace.tr_mark)
+    ref_t chn_t;
+  Alcotest.(check bool) "chained transfers are marked" true
+    (List.exists (fun e -> e.Trace.tr_mark = Machine.mark_chained) chn_t)
+
 let suite =
   [
     Alcotest.test_case "block formation and stats accounting" `Quick
@@ -235,4 +382,12 @@ let suite =
       test_device_write_keeps_blocks;
     Alcotest.test_case "bus-bypass writes need an explicit flush" `Quick
       test_bypass_needs_flush;
+    Alcotest.test_case "chained edges follow and unlink on store" `Quick
+      test_chain_links_and_unlink;
+    Alcotest.test_case "flush bumps the chain epoch" `Quick
+      test_chain_epoch_flush;
+    Alcotest.test_case "superblock side exit is architecturally exact" `Quick
+      test_superblock_side_exit;
+    Alcotest.test_case "traced chain runs mark chained transfers" `Quick
+      test_trace_marks_chained_transfers;
   ]

@@ -8,25 +8,30 @@
    representability check by installing precomputed results.  The block
    dispatch path ([Machine.run ~dispatch:Dispatch_block]) executes
    whole translated basic blocks with interrupt checks only at block
-   boundaries and bookkeeping deferred across simple instructions.  All
-   three must be observationally indistinguishable.
+   boundaries and bookkeeping deferred across simple instructions; the
+   chain path ([Dispatch_chain]) additionally follows direct
+   block-to-block links and re-translates hot fall-dominated paths
+   into superblocks.  All four must be observationally
+   indistinguishable.
 
    This test runs the same random instruction streams (the [Test_fuzz]
    generator: well-formed capability/memory/ALU instructions plus raw
-   random words) on three identically-booted machines in lockstep — one
-   per dispatch path (the block machine is driven with [fuel:1], which
-   cuts every block after one instruction, exposing the mid-block
-   machine state) — and compares the full architectural state after
-   every single step: step result, PCC, all registers, special
+   random words) on four identically-booted machines in lockstep — one
+   per dispatch path (the block and chain machines are driven with
+   [fuel:1], which cuts every block after one instruction, exposing the
+   mid-block machine state) — and compares the full architectural state
+   after every single step: step result, PCC, all registers, special
    capability registers, CSRs, and the retired-event record the cycle
    models consume.  At the end of each stream the state hashes (which
    also cover memory contents and tag bits) must agree.
 
    A second property drives the machines in random-length batches while
    injecting external-interrupt toggles and timer writes identically on
-   all three, checking that batched block execution delivers every
-   interrupt at exactly the same instruction boundary as the per-step
-   paths. *)
+   all four, checking that batched (and chained) block execution
+   delivers every interrupt at exactly the same instruction boundary as
+   the per-step paths; the chain machines run with a tiny hotness
+   threshold so the streams constantly cross superblock-formation
+   points. *)
 
 open Cheriot_core
 open Cheriot_isa
@@ -126,7 +131,11 @@ let compare_states step_no (ref_m : Machine.t) (fast_m : Machine.t) =
 let run_stream words =
   let ref_m = boot words
   and fast_m = boot words
-  and blk_m = boot words in
+  and blk_m = boot words
+  and chn_m = boot words in
+  (* a tiny hotness threshold makes superblock formation reachable
+     within short fuzz streams *)
+  chn_m.Machine.hot_threshold <- 2;
   let rec go n =
     if n > 256 then ()
     else begin
@@ -139,6 +148,9 @@ let run_stream words =
       let r_blk, n_blk =
         Machine.run ~fuel:1 ~dispatch:Machine.Dispatch_block blk_m
       in
+      let r_chn, n_chn =
+        Machine.run ~fuel:1 ~dispatch:Machine.Dispatch_chain chn_m
+      in
       if r_ref <> r_fast then
         QCheck.Test.fail_reportf "ref/cached results diverged at step %d" n;
       let expect_blk =
@@ -148,8 +160,11 @@ let run_stream words =
       in
       if (r_blk, n_blk) <> (expect_blk, 1) then
         QCheck.Test.fail_reportf "ref/block results diverged at step %d" n;
+      if (r_chn, n_chn) <> (expect_blk, 1) then
+        QCheck.Test.fail_reportf "ref/chain results diverged at step %d" n;
       compare_states n ref_m fast_m;
       compare_states n ref_m blk_m;
+      compare_states n ref_m chn_m;
       match r_ref with
       | Machine.Step_ok | Machine.Step_trap _ -> go (n + 1)
       | Machine.Step_waiting | Machine.Step_halted | Machine.Step_double_fault
@@ -159,13 +174,16 @@ let run_stream words =
   in
   go 0;
   let h = Machine.state_hash ref_m in
-  if h <> Machine.state_hash fast_m || h <> Machine.state_hash blk_m then
-    QCheck.Test.fail_reportf "final state hashes differ";
+  if
+    h <> Machine.state_hash fast_m
+    || h <> Machine.state_hash blk_m
+    || h <> Machine.state_hash chn_m
+  then QCheck.Test.fail_reportf "final state hashes differ";
   true
 
 let prop_lockstep =
   QCheck.Test.make
-    ~name:"ref, cached and block dispatch agree on 1000 random streams"
+    ~name:"ref, cached, block and chain dispatch agree on 1000 random streams"
     ~count:1000
     (QCheck.make
        ~print:(fun ws ->
@@ -203,8 +221,12 @@ let run_interrupt_stream (words, seed) =
     m.Machine.mie <- true;
     m
   in
-  let ref_m = mk () and fast_m = mk () and blk_m = mk () in
-  let machines = [ ref_m; fast_m; blk_m ] in
+  let ref_m = mk () and fast_m = mk () and blk_m = mk () and chn_m = mk () in
+  (* chain with a tiny hotness threshold: batches cross the superblock
+     formation point mid-stream, so interrupt delivery is checked
+     against freshly re-translated superblocks too *)
+  chn_m.Machine.hot_threshold <- 2;
+  let machines = [ ref_m; fast_m; blk_m; chn_m ] in
   (* small deterministic LCG over the generated seed: the shrinker can
      minimise interesting injection schedules along with the program *)
   let state = ref seed in
@@ -236,6 +258,9 @@ let run_interrupt_stream (words, seed) =
        let r_blk, n_blk =
          Machine.run ~fuel ~dispatch:Machine.Dispatch_block blk_m
        in
+       let r_chn, n_chn =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_chain chn_m
+       in
        if (r_ref, n_ref) <> (r_fast, n_fast) then
          QCheck.Test.fail_reportf
            "ref/cached batch diverged after %d insns (fuel %d)" !total fuel;
@@ -244,10 +269,20 @@ let run_interrupt_stream (words, seed) =
            "ref/block batch diverged after %d insns (fuel %d): ref retired \
             %d, block retired %d"
            !total fuel n_ref n_blk;
+       if (r_ref, n_ref) <> (r_chn, n_chn) then
+         QCheck.Test.fail_reportf
+           "ref/chain batch diverged after %d insns (fuel %d): ref retired \
+            %d, chain retired %d"
+           !total fuel n_ref n_chn;
        compare_states !total ref_m fast_m;
        compare_states !total ref_m blk_m;
+       compare_states !total ref_m chn_m;
        let h = Machine.state_hash ref_m in
-       if h <> Machine.state_hash fast_m || h <> Machine.state_hash blk_m then
+       if
+         h <> Machine.state_hash fast_m
+         || h <> Machine.state_hash blk_m
+         || h <> Machine.state_hash chn_m
+       then
          QCheck.Test.fail_reportf "state hashes diverged after %d insns"
            !total;
        total := !total + n_ref;
@@ -260,7 +295,7 @@ let run_interrupt_stream (words, seed) =
 
 let prop_interrupt_lockstep =
   QCheck.Test.make
-    ~name:"interrupt injection: all three paths deliver identically"
+    ~name:"interrupt injection: all four paths deliver identically"
     ~count:200
     (QCheck.make
        ~print:(fun (ws, seed) ->
@@ -281,21 +316,31 @@ let prop_interrupt_lockstep =
 let test_coremark_lockstep () =
   let module Coremark = Cheriot_workloads.Coremark in
   let module Core_model = Cheriot_uarch.Core_model in
-  let run dispatch =
+  let run ?hot_threshold dispatch =
     let m =
       Coremark.setup ~iterations:2
         (Core_model.config ~cheri:true ~load_filter:true Core_model.Ibex)
     in
+    (match hot_threshold with
+    | Some t -> m.Machine.hot_threshold <- t
+    | None -> ());
     let _, insns = Machine.run ~dispatch m in
     (insns, Machine.state_hash m)
   in
   let ref_insns, ref_hash = run Machine.Dispatch_ref in
   let fast_insns, fast_hash = run Machine.Dispatch_cached in
   let blk_insns, blk_hash = run Machine.Dispatch_block in
+  let chn_insns, chn_hash = run Machine.Dispatch_chain in
+  (* an aggressive threshold forms superblocks all over the hot loops *)
+  let sb_insns, sb_hash = run ~hot_threshold:2 Machine.Dispatch_chain in
   Alcotest.(check int) "retired instructions (cached)" ref_insns fast_insns;
   Alcotest.(check string) "state hash (cached)" ref_hash fast_hash;
   Alcotest.(check int) "retired instructions (block)" ref_insns blk_insns;
-  Alcotest.(check string) "state hash (block)" ref_hash blk_hash
+  Alcotest.(check string) "state hash (block)" ref_hash blk_hash;
+  Alcotest.(check int) "retired instructions (chain)" ref_insns chn_insns;
+  Alcotest.(check string) "state hash (chain)" ref_hash chn_hash;
+  Alcotest.(check int) "retired instructions (superblocks)" ref_insns sb_insns;
+  Alcotest.(check string) "state hash (superblocks)" ref_hash sb_hash
 
 let suite =
   [

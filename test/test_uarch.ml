@@ -104,6 +104,62 @@ let test_race_snoop () =
     (Sram.read32 sram (slot + 4));
   Alcotest.(check bool) "at least one reload" true (Revoker.race_reloads r >= 1)
 
+(* [tick_n k] must be bit-identical to [k] successive [tick]s — sweep
+   results, statistics and epoch transitions — including through bus
+   stalls (Ibex's narrow bus inserts them on every word) and a store
+   snoop landing at the same granted-cycle offset on both engines. *)
+let test_tick_n_equivalence () =
+  let mk core =
+    let sram, rev = make () in
+    let freed = cap_at (heap_base + 0x100) 64 in
+    store_cap sram (heap_base + 0x1000) freed;
+    store_cap sram (heap_base + 0x40) freed;
+    Revbits.paint rev ~addr:(heap_base + 0x100) ~len:64;
+    let r = Revoker.create ~core ~sram ~rev () in
+    Revoker.kick r ~start:heap_base ~stop:(heap_base + 0x2000);
+    (sram, r)
+  in
+  List.iter
+    (fun core ->
+      let sram_a, a = mk core and sram_b, b = mk core in
+      (* grant the same cycle schedule: singly to [a], batched to [b],
+         with a mid-sweep snoop at the same point on both *)
+      let grants = [ 1; 7; 3; 64; 1; 1; 128; 513 ] in
+      List.iteri
+        (fun gi k ->
+          for _ = 1 to k do
+            Revoker.tick a
+          done;
+          Revoker.tick_n b k;
+          if gi = 3 then begin
+            Sram.write32 sram_a (heap_base + 0x40) 0xdeadbeef;
+            Sram.write32 sram_b (heap_base + 0x40) 0xdeadbeef;
+            Revoker.snoop_store a (heap_base + 0x40);
+            Revoker.snoop_store b (heap_base + 0x40)
+          end;
+          Alcotest.(check bool) "sweeping state equal" (Revoker.sweeping a)
+            (Revoker.sweeping b);
+          Alcotest.(check int) "words swept equal" (Revoker.words_swept a)
+            (Revoker.words_swept b);
+          Alcotest.(check int) "busy cycles equal" (Revoker.busy_cycles a)
+            (Revoker.busy_cycles b))
+        grants;
+      ignore (Revoker.run_to_completion a);
+      Revoker.tick_n b 1_000_000;
+      Alcotest.(check int) "epoch equal" (Revoker.epoch a) (Revoker.epoch b);
+      Alcotest.(check int) "caps invalidated equal" (Revoker.caps_invalidated a)
+        (Revoker.caps_invalidated b);
+      Alcotest.(check int) "race reloads equal" (Revoker.race_reloads a)
+        (Revoker.race_reloads b);
+      Alcotest.(check bool) "stale tag cleared on both" false
+        (Sram.tag_at sram_a (heap_base + 0x1000)
+        || Sram.tag_at sram_b (heap_base + 0x1000));
+      (* a non-sweeping engine must consume batched grants for free *)
+      Revoker.tick_n b 1_000_000;
+      Alcotest.(check int) "idle grants cost nothing" (Revoker.busy_cycles a)
+        (Revoker.busy_cycles b))
+    [ Core_model.Flute; Core_model.Ibex ]
+
 let test_mmio_interface () =
   let sram, rev = make () in
   let freed = cap_at (heap_base + 0x100) 64 in
@@ -302,6 +358,8 @@ let suite =
       test_ibex_bus_slower;
     Alcotest.test_case "store race: snoop forces reload" `Quick
       test_race_snoop;
+    Alcotest.test_case "tick_n bit-identical to repeated tick" `Quick
+      test_tick_n_equivalence;
     Alcotest.test_case "MMIO start/end/epoch/kick" `Quick test_mmio_interface;
     Alcotest.test_case "bus store snoop wired" `Quick test_bus_snoop_wired;
     Alcotest.test_case "core model costs" `Quick test_core_model_costs;
