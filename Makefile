@@ -1,24 +1,38 @@
 # Entry points for local use and CI.
 #
-# `make ci` is the gate: build, the full test suite (including the
-# differential oracle between the reference, cached, block and chain
-# dispatch paths), the dispatch-parity gate (the differential suite in
-# isolation — it fails printing the qcheck fuzz seed and shrunk program
-# on any state-hash mismatch), and reduced-workload runs of the
+# `make ci` is the gate: build, lint (warnings-as-errors), the full
+# test suite (including the differential oracle between the reference,
+# cached, block and chain dispatch paths), the dispatch-parity gate (the
+# differential suite in isolation — it fails printing the qcheck fuzz
+# seed and shrunk program on any state-hash mismatch), the static
+# firmware audit (`cheriot_audit all`: shipped images audit clean, the
+# bad-image corpus is fully detected), and reduced-workload runs of the
 # decode-cache, block-exec and chain-exec benchmarks, which exit
 # non-zero if any dispatch path diverges on any workload.  The smoke
 # benches write BENCH_*_smoke.json; they are divergence gates, not
 # performance claims — use `make bench` for real numbers.
 
-.PHONY: all build test parity bench bench-smoke ci clean
+.PHONY: all build lint test parity audit bench bench-smoke ci clean
 
 all: build
 
 build:
 	dune build
 
+# Warnings-as-errors pass over the whole tree (the `lint` env profile in
+# the root `dune` file promotes every enabled warning to an error).
+lint:
+	dune build --profile lint @check
+
 test: build
 	dune runtest
+
+# Static firmware audit: every shipped image must audit clean, and every
+# deliberately-bad corpus image must trip exactly its expected rule
+# (no false negatives, no false positives).  Prints the JSON findings
+# report for the shipped images.
+audit: build
+	dune exec bin/cheriot_audit.exe -- all
 
 # Dispatch parity: every dispatch path (ref / cached / block / chain)
 # must be observationally identical on random streams, under interrupt
@@ -37,7 +51,7 @@ bench-smoke: build
 	dune exec bench/main.exe -- block_exec smoke
 	dune exec bench/main.exe -- chain_exec smoke
 
-ci: build test parity bench-smoke
+ci: build lint test parity audit bench-smoke
 
 clean:
 	dune clean

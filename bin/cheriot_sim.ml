@@ -111,34 +111,11 @@ let iot_cmd =
 (* --- demo -------------------------------------------------------------- *)
 
 let demo trace dispatch =
-  (* The compartment-isolation image from the examples, with optional
+  (* The two-compartment demo image from {!Cheriot_workloads.Firmware}
+     (app calls svc.double through the switcher), with optional
      instruction tracing. *)
   let open Cheriot_isa in
-  let module Compartment = Cheriot_rtos.Compartment in
-  let app =
-    Compartment.v ~name:"app" ~globals_size:64
-      ~exports:[ { exp_label = "main"; exp_posture = Interrupts_enabled } ]
-      ~imports:
-        [ { imp_compartment = "svc"; imp_export = "double"; imp_slot = 8 } ]
-      [
-        Asm.Label "main";
-        Asm.Li (Insn.reg_a0, 21);
-        Asm.I (Insn.Clc (Insn.reg_t1, Insn.reg_gp, 8));
-        Asm.I (Insn.Clc (Insn.reg_t2, Insn.reg_gp, 0));
-        Asm.I (Insn.Jalr (Insn.reg_ra, Insn.reg_t2, 0));
-        Asm.I Insn.Ebreak;
-      ]
-  in
-  let svc =
-    Compartment.v ~name:"svc" ~globals_size:64
-      ~exports:[ { exp_label = "double"; exp_posture = Interrupts_enabled } ]
-      [
-        Asm.Label "double";
-        Asm.I (Insn.Op (Add, Insn.reg_a0, Insn.reg_a0, Insn.reg_a0));
-        Asm.Ret;
-      ]
-  in
-  let t = Cheriot_rtos.Loader.link [ app; svc ] ~boot:("app", "main") in
+  let t = Cheriot_workloads.Firmware.demo () in
   let m = t.Cheriot_rtos.Loader.machine in
   let result, steps =
     if trace then

@@ -7,9 +7,12 @@
      crypto   -- holds a signing key in its private globals
      mallory  -- a malicious "driver" the app also calls
 
-   Everything runs on the real (simulated) CPU: the cross-compartment
-   calls go through the machine-code switcher, and mallory's attacks are
-   defeated by the architecture, not by code review.
+   The image definitions live in {!Cheriot_workloads.Firmware} (the
+   static auditor links the same ones); this example substitutes attack
+   bodies for the driver compartment and runs them on the real
+   (simulated) CPU: the cross-compartment calls go through the
+   machine-code switcher, and mallory's attacks are defeated by the
+   architecture, not by code review.
 
    Run with:  dune exec examples/compartment_isolation.exe *)
 
@@ -17,7 +20,7 @@ open Cheriot_core
 open Cheriot_isa
 module Compartment = Cheriot_rtos.Compartment
 module Loader = Cheriot_rtos.Loader
-module Sram = Cheriot_mem.Sram
+module Firmware = Cheriot_workloads.Firmware
 
 let say fmt = Format.printf (fmt ^^ "@.")
 let a0 = Insn.reg_a0
@@ -27,74 +30,12 @@ let t2 = Insn.reg_t2
 let sp = Insn.reg_sp
 let gp = Insn.reg_gp
 let ra = Insn.reg_ra
-let sw rs2 rs1 off = Asm.I (Insn.Store { width = W; rs2; rs1; off })
 let lw rd rs1 off = Asm.I (Insn.Load { signed = true; width = W; rd; rs1; off })
-
-let call_slot slot =
-  [
-    Asm.I (Insn.Clc (t1, gp, slot));
-    Asm.I (Insn.Clc (t2, gp, Compartment.switcher_slot));
-    Asm.I (Insn.Jalr (ra, t2, 0));
-  ]
-
-(* crypto: sign(a0) = a0 xor key, key private in globals slot 16 *)
-let crypto =
-  Compartment.v ~name:"crypto" ~globals_size:64
-    ~exports:[ { exp_label = "sign"; exp_posture = Interrupts_enabled } ]
-    [
-      Asm.Label "sign";
-      lw t0 gp 16;
-      Asm.I (Insn.Op (Xor, a0, a0, t0));
-      Asm.Ret;
-    ]
-
 let key = 0x1337c0de
 
-let scenario mallory_body =
-  let app =
-    Compartment.v ~name:"app" ~globals_size:64
-      ~exports:[ { exp_label = "main"; exp_posture = Interrupts_enabled } ]
-      ~imports:
-        [
-          { imp_compartment = "crypto"; imp_export = "sign"; imp_slot = 8 };
-          { imp_compartment = "mallory"; imp_export = "driver"; imp_slot = 16 };
-        ]
-      (List.concat
-         [
-           [
-             Asm.Label "main";
-             Asm.I (Insn.Cincaddrimm (sp, sp, -16));
-             Asm.I (Insn.Csc (ra, sp, 0));
-             (* 1: ask crypto to sign a message *)
-             Asm.Li (a0, 0x42);
-           ];
-           call_slot 8;
-           [ sw a0 sp 8 (* the signature, kept in our frame *) ];
-           (* 2: call the sketchy driver *)
-           call_slot 16;
-           [
-             (* 3: our signature must be intact *)
-             lw a0 sp 8;
-             Asm.I (Insn.Clc (ra, sp, 0));
-             Asm.I Insn.Ebreak;
-           ];
-         ])
-  in
-  let mallory =
-    Compartment.v ~name:"mallory" ~globals_size:64
-      ~exports:[ { exp_label = "driver"; exp_posture = Interrupts_enabled } ]
-      mallory_body
-  in
-  Loader.link [ app; crypto; mallory ] ~boot:("app", "main")
-
-let patch_key t =
-  (* the loader would normally place initialized data; poke the key in *)
-  let crypto_b = Loader.find t "crypto" in
-  Sram.write32 t.Loader.sram (crypto_b.Loader.globals_base + 16) key
-
 let run_scenario name mallory_body =
-  let t = scenario mallory_body in
-  patch_key t;
+  let t = Firmware.isolation ~driver:mallory_body () in
+  Firmware.patch_key t key;
   let m = t.Loader.machine in
   (match Loader.run t with
   | Machine.Step_halted, _ when Capability.address m.Machine.pcc < 0x1_1000 ->
@@ -116,8 +57,7 @@ let () =
   say "";
 
   say "1. A well-behaved driver: everything just works.";
-  ignore
-    (run_scenario "benign" [ Asm.Label "driver"; Asm.Li (a0, 0); Asm.Ret ]);
+  ignore (run_scenario "benign" Firmware.benign_driver);
   say "";
 
   say "2. Mallory tries to READ crypto's key by address.  She knows exactly";

@@ -1,0 +1,193 @@
+(* The abstract capability domain of the static auditor (DESIGN.md §11).
+
+   Each register holds an abstract value approximating a set of concrete
+   machine words — capabilities or plain integers (an integer is a
+   capability with a false tag, so one representation covers both).  The
+   domain is a join-semilattice; every component carries *must* (lower)
+   and *may* (upper) information so that findings can be restricted to
+   must-evidence: a rule fires only when every concretization of the
+   abstract value violates it.  Joins erode must-information, which makes
+   the analysis incomplete but keeps it free of false positives by
+   construction.
+
+   Components:
+     tag    three-valued: provably tagged / provably untagged / unknown
+     ot     otype: exact or unknown (sealedness derives from it)
+     pmust  permissions every concretization has
+     pmay   permissions some concretization may have (pmust ⊆ pmay)
+     base, top, addr   intervals over [0, 2^32]                       *)
+
+open Cheriot_core
+
+module Tri = struct
+  type t = True | False | Any
+
+  let of_bool b = if b then True else False
+  let join a b = if a = b then a else Any
+  let must_true = function True -> true | _ -> false
+  let must_false = function False -> true | _ -> false
+end
+
+module Iv = struct
+  type t = { lo : int; hi : int }  (* inclusive; 0 <= lo <= hi <= 2^32 *)
+
+  let limit = 1 lsl 32
+  let full = { lo = 0; hi = limit }
+  let exact n = if n < 0 || n > limit then full else { lo = n; hi = n }
+  let v lo hi = { lo = max 0 lo; hi = min limit hi }
+  let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+  let is_exact a = a.lo = a.hi
+  let equal a b = a.lo = b.lo && a.hi = b.hi
+
+  (* Interval sum; anything that could wrap modulo 2^32 collapses to full. *)
+  let add a b =
+    let lo = a.lo + b.lo and hi = a.hi + b.hi in
+    if lo < 0 || hi > limit then full else { lo; hi }
+
+  let add_const a n =
+    let lo = a.lo + n and hi = a.hi + n in
+    if lo < 0 || hi > limit then full else { lo; hi }
+
+  let sub a b =
+    let lo = a.lo - b.hi and hi = a.hi - b.lo in
+    if lo < 0 || hi > limit then full else { lo; hi }
+
+  (* Classic widening: any growth jumps straight to full, bounding chain
+     length for loop-carried addresses. *)
+  let widen old nw = if nw.lo < old.lo || nw.hi > old.hi then full else nw
+end
+
+type ot = Ot_exact of Otype.t | Ot_any
+
+type v = {
+  tag : Tri.t;
+  ot : ot;
+  pmust : Perm.Set.t;
+  pmay : Perm.Set.t;
+  base : Iv.t;
+  top : Iv.t;
+  addr : Iv.t;
+}
+
+let all_perms = Perm.Set.of_list Perm.all
+
+let top_v =
+  {
+    tag = Tri.Any;
+    ot = Ot_any;
+    pmust = Perm.Set.empty;
+    pmay = all_perms;
+    base = Iv.full;
+    top = Iv.full;
+    addr = Iv.full;
+  }
+
+(* A known integer (or the null capability): untagged, no authority. *)
+let int_v iv =
+  {
+    tag = Tri.False;
+    ot = Ot_exact Otype.unsealed;
+    pmust = Perm.Set.empty;
+    pmay = Perm.Set.empty;
+    base = Iv.exact 0;
+    top = Iv.exact 0;
+    addr = iv;
+  }
+
+let null_v = int_v (Iv.exact 0)
+let int_full = int_v Iv.full
+
+(* Exact lift of a concrete capability (tag included in [c]). *)
+let of_cap (c : Capability.t) =
+  let perms = Capability.perms c in
+  {
+    tag = Tri.of_bool c.Capability.tag;
+    ot = Ot_exact (Capability.otype c);
+    pmust = perms;
+    pmay = perms;
+    base = Iv.exact (Capability.base c);
+    top = Iv.exact (Capability.top c);
+    addr = Iv.exact (Capability.address c);
+  }
+
+let join_ot a b =
+  match (a, b) with
+  | Ot_exact x, Ot_exact y when Otype.equal x y -> a
+  | _ -> Ot_any
+
+let equal_ot a b =
+  match (a, b) with
+  | Ot_exact x, Ot_exact y -> Otype.equal x y
+  | Ot_any, Ot_any -> true
+  | _ -> false
+
+let join a b =
+  {
+    tag = Tri.join a.tag b.tag;
+    ot = join_ot a.ot b.ot;
+    pmust = Perm.Set.inter a.pmust b.pmust;
+    pmay = Perm.Set.union a.pmay b.pmay;
+    base = Iv.join a.base b.base;
+    top = Iv.join a.top b.top;
+    addr = Iv.join a.addr b.addr;
+  }
+
+(* Join with interval widening relative to [old] — applied at loop heads
+   once a block's input has been joined into often enough. *)
+let widen old nw =
+  {
+    tag = Tri.join old.tag nw.tag;
+    ot = join_ot old.ot nw.ot;
+    pmust = Perm.Set.inter old.pmust nw.pmust;
+    pmay = Perm.Set.union old.pmay nw.pmay;
+    base = Iv.widen old.base (Iv.join old.base nw.base);
+    top = Iv.widen old.top (Iv.join old.top nw.top);
+    addr = Iv.widen old.addr (Iv.join old.addr nw.addr);
+  }
+
+let equal a b =
+  a.tag = b.tag && equal_ot a.ot b.ot
+  && Perm.Set.equal a.pmust b.pmust
+  && Perm.Set.equal a.pmay b.pmay
+  && Iv.equal a.base b.base && Iv.equal a.top b.top && Iv.equal a.addr b.addr
+
+(* --- must-queries (the only evidence findings may use) ------------------ *)
+
+let must_unsealed v =
+  match v.ot with Ot_exact o -> Otype.is_unsealed o | Ot_any -> false
+
+let must_sealed v =
+  match v.ot with Ot_exact o -> not (Otype.is_unsealed o) | Ot_any -> false
+
+let sentry_kind_exact v =
+  match v.ot with Ot_exact o -> Otype.sentry_of_otype o | Ot_any -> None
+
+let may_perm v p = Perm.Set.mem p v.pmay
+let must_perm v p = Perm.Set.mem p v.pmust
+
+(* Every concretization of [iv] is an in-bounds access of [size] bytes. *)
+let must_in_bounds v (iv : Iv.t) ~size =
+  iv.Iv.lo >= v.base.Iv.hi && iv.Iv.hi + size <= v.top.Iv.lo
+
+(* Every concretization of [iv] violates bounds for a [size]-byte access. *)
+let must_out_of_bounds v (iv : Iv.t) ~size =
+  iv.Iv.lo + size > v.top.Iv.hi || iv.Iv.hi < v.base.Iv.lo
+
+(* --- register states ---------------------------------------------------- *)
+
+type state = v array  (* 16 registers; index 0 is pinned to null *)
+
+let get (st : state) r = if r = 0 then null_v else st.(r land 15)
+
+let set (st : state) r x = if r <> 0 then st.(r land 15) <- x
+
+let copy_state (st : state) : state = Array.copy st
+
+let join_state (a : state) (b : state) : state = Array.map2 join a b
+
+let widen_state (a : state) (b : state) : state = Array.map2 widen a b
+
+let equal_state (a : state) (b : state) =
+  let ok = ref true in
+  Array.iteri (fun i x -> if not (equal x b.(i)) then ok := false) a;
+  !ok

@@ -1,0 +1,753 @@
+(* The static firmware auditor (DESIGN.md §11).
+
+   [run] audits a linked image ([Loader.link] output) without executing
+   it, in three layers:
+
+     1. CFG recovery per compartment ({!Cfg});
+     2. abstract capability-flow interpretation to fixpoint over each
+        compartment's CFG, in the {!Absdom} domain, flagging flow-* rules
+        on must-evidence only;
+     3. structural linkage checks over descriptors, import/export tables,
+        globals images, reserved otypes and the boot register file.
+
+   The switcher and trap stub are the trusted computing base and are not
+   analyzed; the linkage layer instead checks that compartments cannot
+   reach switcher-private authority (SR permission, the export otype,
+   slot-0 integrity).
+
+   Soundness contract: a flow finding means every concrete execution
+   reaching that instruction violates the rule; a cfg or link finding
+   means the image is structurally malformed.  There are no false positives
+   by construction; incompleteness (missed violations) is the price. *)
+
+open Cheriot_core
+module Sram = Cheriot_mem.Sram
+open Cheriot_isa
+module Loader = Cheriot_rtos.Loader
+module Compartment = Cheriot_rtos.Compartment
+module Switcher_asm = Cheriot_rtos.Switcher_asm
+open Absdom
+
+(* --- findings accumulator (dedupe by rule + compartment + pc) ---------- *)
+
+type acc = {
+  mutable findings : Rules.finding list;
+  seen : (string * string * int option, unit) Hashtbl.t;
+  mutable enabled : bool;  (* flow emission muted during warm-up rounds *)
+}
+
+let acc_create () = { findings = []; seen = Hashtbl.create 16; enabled = true }
+
+let emit acc ?pc ~compartment rule detail =
+  if acc.enabled && not (Hashtbl.mem acc.seen (rule, compartment, pc)) then begin
+    Hashtbl.replace acc.seen (rule, compartment, pc) ();
+    acc.findings <- Rules.v ?pc ~compartment rule detail :: acc.findings
+  end
+
+(* --- per-compartment analysis context ----------------------------------- *)
+
+type ctx = {
+  comp : string;
+  sram : Sram.t;
+  code_cap : Capability.t;
+  code_lo : int;
+  code_hi : int;
+  gbase : int;
+  gsize : int;
+  gcap : Capability.t;
+  sbase : int;
+  ssize : int;
+  mutable blurred : bool;
+      (* a store may have hit the globals: exact initial-image reads are
+         no longer valid *)
+  mutable soup : v;
+      (* join of the initial globals image and every value the
+         compartment may have stored — what a weak capability load sees *)
+  mutable mem_dirty : bool;  (* memory summary grew during this round *)
+}
+
+let globals_region ctx (a : v) =
+  let lo = a.base.Iv.lo and hi = a.top.Iv.hi in
+  if lo >= ctx.gbase && hi <= ctx.gbase + ctx.gsize then `Globals
+  else if lo >= ctx.sbase && hi <= ctx.sbase + ctx.ssize then `Stack
+  else `Other
+
+let read_cap_v sram a =
+  let tag, w = Sram.read_cap sram a in
+  of_cap (Capability.of_word ~tag w)
+
+(* Join of every granule in the compartment's initial globals image —
+   the starting point of the store soup. *)
+let initial_soup ctx =
+  let acc = ref null_v in
+  let a = ref ctx.gbase in
+  while !a + 8 <= ctx.gbase + ctx.gsize do
+    acc := join !acc (read_cap_v ctx.sram !a);
+    a := !a + 8
+  done;
+  !acc
+
+(* The load-side attenuation of 3.1.1, on abstract values.  Must-side
+   stripping is always sound; may-side stripping needs the authority to
+   provably lack the load right. *)
+let attenuate ~auth v =
+  let strip ps = Perm.Set.remove Perm.GL (Perm.Set.remove Perm.LG ps) in
+  let strip_m ps = Perm.Set.remove Perm.SD (Perm.Set.remove Perm.LM ps) in
+  let v =
+    if must_perm auth Perm.LG then v
+    else
+      {
+        v with
+        pmust = strip v.pmust;
+        pmay = (if may_perm auth Perm.LG then v.pmay else strip v.pmay);
+      }
+  in
+  if must_perm auth Perm.LM then v
+  else
+    {
+      v with
+      pmust = strip_m v.pmust;
+      pmay =
+        (if may_perm auth Perm.LM || not (must_unsealed v) then v.pmay
+         else strip_m v.pmay);
+    }
+
+(* --- abstract memory ---------------------------------------------------- *)
+
+let load_cap ctx (auth : v) =
+  match globals_region ctx auth with
+  | `Stack -> top_v
+  | `Other -> top_v
+  | `Globals ->
+      if (not ctx.blurred) && Iv.is_exact auth.addr then begin
+        let a = auth.addr.Iv.lo in
+        if a land 7 = 0 && a >= ctx.gbase && a + 8 <= ctx.gbase + ctx.gsize
+        then attenuate ~auth (read_cap_v ctx.sram a)
+        else top_v
+      end
+      else attenuate ~auth ctx.soup
+
+let load_int ctx (auth : v) =
+  match globals_region ctx auth with
+  | `Globals
+    when (not ctx.blurred) && Iv.is_exact auth.addr
+         && auth.addr.Iv.lo land 3 = 0
+         && auth.addr.Iv.lo >= ctx.gbase
+         && auth.addr.Iv.lo + 4 <= ctx.gbase + ctx.gsize ->
+      int_v (Iv.exact (Sram.read32 ctx.sram auth.addr.Iv.lo))
+  | _ -> int_full
+
+let store ctx (auth : v) (value : v option) =
+  (* [value = None] is a data store: it cannot install a capability but
+     can clear a granule's tag, so the soup gains an untagged case. *)
+  match globals_region ctx auth with
+  | `Stack -> ()
+  | `Globals | `Other ->
+      if not ctx.blurred then begin
+        ctx.blurred <- true;
+        ctx.mem_dirty <- true
+      end;
+      let soup' =
+        match value with
+        | Some v -> join ctx.soup v
+        | None -> { ctx.soup with tag = Tri.join ctx.soup.tag Tri.False }
+      in
+      if not (equal soup' ctx.soup) then begin
+        ctx.soup <- soup';
+        ctx.mem_dirty <- true
+      end
+
+(* --- flow checks (must-evidence only) ----------------------------------- *)
+
+let check_access acc ctx pc ~auth ~size ~is_store ~is_cap =
+  if Tri.must_false auth.tag then
+    emit acc ~pc ~compartment:ctx.comp Rules.flow_untagged_deref
+      "dereference of a provably untagged value"
+  else if must_sealed auth then
+    emit acc ~pc ~compartment:ctx.comp Rules.flow_untagged_deref
+      "dereference of a provably sealed capability"
+  else if Tri.must_true auth.tag then begin
+    let need = if is_store then Perm.SD else Perm.LD in
+    if not (may_perm auth need) then
+      emit acc ~pc ~compartment:ctx.comp Rules.flow_missing_perm
+        (Printf.sprintf "access needs %s which the authority provably lacks"
+           (Perm.to_string need))
+    else if is_cap && not (may_perm auth Perm.MC) then
+      emit acc ~pc ~compartment:ctx.comp Rules.flow_missing_perm
+        "capability access needs MC which the authority provably lacks"
+    else if must_out_of_bounds auth auth.addr ~size then
+      emit acc ~pc ~compartment:ctx.comp Rules.flow_oob_access
+        (Printf.sprintf "%d-byte access provably outside bounds" size)
+  end
+
+let check_store_local acc ctx pc ~auth ~value =
+  if
+    Tri.must_true auth.tag && Tri.must_true value.tag
+    && (not (may_perm value Perm.GL))
+    && not (may_perm auth Perm.SL)
+  then
+    emit acc ~pc ~compartment:ctx.comp Rules.flow_store_local_leak
+      "local (non-GL) capability stored through an SL-lacking authority"
+
+(* Jump checks for Jalr; [`Trap] means provably trapping: no successor. *)
+let check_jump acc ctx pc target off =
+  if Tri.must_false target.tag then begin
+    emit acc ~pc ~compartment:ctx.comp Rules.flow_jump_not_executable
+      "jump through a provably untagged value";
+    `Trap
+  end
+  else if Tri.must_true target.tag && not (may_perm target Perm.EX) then begin
+    emit acc ~pc ~compartment:ctx.comp Rules.flow_jump_not_executable
+      "jump target provably lacks EX";
+    `Trap
+  end
+  else if must_sealed target then
+    match sentry_kind_exact target with
+    | Some _ when off = 0 -> `Ok
+    | Some _ ->
+        emit acc ~pc ~compartment:ctx.comp Rules.flow_jump_not_executable
+          "sentry jump with a nonzero immediate";
+        `Trap
+    | None ->
+        emit acc ~pc ~compartment:ctx.comp Rules.flow_jump_not_executable
+          "jump through a sealed non-sentry capability";
+        `Trap
+  else `Ok
+
+(* --- transfer function --------------------------------------------------- *)
+
+(* Signed view of an exact interval (register offsets are 32-bit two's
+   complement). *)
+let signed_exact (iv : Iv.t) =
+  if Iv.is_exact iv && iv.Iv.lo < Iv.limit then
+    let n = iv.Iv.lo in
+    Some (if n >= 1 lsl 31 then n - Iv.limit else n)
+  else None
+
+(* Address update shared by Csetaddr / Cincaddr[imm]: keeps bounds and
+   perms; the tag survives only if provably unsealed and representable
+   (in-bounds implies representable). *)
+let with_addr (c : v) (addr : Iv.t) =
+  let tag =
+    match c.tag with
+    | Tri.False -> Tri.False
+    | _ ->
+        if
+          Tri.must_true c.tag && must_unsealed c
+          && must_in_bounds c addr ~size:0
+        then Tri.True
+        else Tri.Any
+  in
+  { c with addr; tag }
+
+(* [Csetbounds*]: traps (rather than clearing the tag) when the request
+   escapes the source authority, so the success path is always tagged. *)
+let set_bounds_v acc ctx pc (c : v) (len : Iv.t) ~exact =
+  if
+    Tri.must_true c.tag
+    && (c.addr.Iv.lo + len.Iv.lo > c.top.Iv.hi || c.addr.Iv.hi < c.base.Iv.lo)
+  then
+    emit acc ~pc ~compartment:ctx.comp Rules.flow_widening_derivation
+      "requested bounds provably escape the source capability";
+  ignore exact;
+  if Iv.is_exact c.addr && Iv.is_exact len && len.Iv.lo <= 511 then
+    (* small objects are always exactly representable (3.2.3) *)
+    {
+      c with
+      tag = Tri.True;
+      ot = Ot_exact Otype.unsealed;
+      base = Iv.exact c.addr.Iv.lo;
+      top = Iv.exact (c.addr.Iv.lo + len.Iv.lo);
+    }
+  else
+    {
+      c with
+      tag = Tri.True;
+      ot = Ot_exact Otype.unsealed;
+      base = Iv.v c.base.Iv.lo c.addr.Iv.hi;
+      top = Iv.v (Iv.add c.addr len).Iv.lo c.top.Iv.hi;
+    }
+
+let step acc ctx (st : state) pc (i : Insn.t) =
+  let g = get st and s = set st in
+  match i with
+  | Insn.Lui (rd, imm) -> s rd (int_v (Iv.exact ((imm lsl 12) land 0xFFFF_FFFF)))
+  | Insn.Auipcc (rd, imm) ->
+      s rd
+        (of_cap
+           (Capability.with_address ctx.code_cap
+              ((pc + (imm lsl 12)) land 0xFFFF_FFFF)))
+  | Insn.Op_imm (Insn.Add, rd, rs1, imm) ->
+      s rd (int_v (Iv.add_const (g rs1).addr imm))
+  | Insn.Op_imm (_, rd, _, _) -> s rd int_full
+  | Insn.Op (Insn.Add, rd, rs1, rs2) ->
+      s rd (int_v (Iv.add (g rs1).addr (g rs2).addr))
+  | Insn.Op (Insn.Sub, rd, rs1, rs2) ->
+      s rd (int_v (Iv.sub (g rs1).addr (g rs2).addr))
+  | Insn.Op (_, rd, _, _) -> s rd int_full
+  | Insn.Mul_div (_, rd, _, _) -> s rd int_full
+  | Insn.Load { width; rd; rs1; off; _ } ->
+      let size = match width with Insn.B -> 1 | Insn.H -> 2 | Insn.W -> 4 in
+      let auth = with_addr (g rs1) (Iv.add_const (g rs1).addr off) in
+      check_access acc ctx pc ~auth ~size ~is_store:false ~is_cap:false;
+      s rd (if size = 4 then load_int ctx auth else int_full)
+  | Insn.Store { width; rs2 = _; rs1; off } ->
+      let size = match width with Insn.B -> 1 | Insn.H -> 2 | Insn.W -> 4 in
+      let auth = with_addr (g rs1) (Iv.add_const (g rs1).addr off) in
+      check_access acc ctx pc ~auth ~size ~is_store:true ~is_cap:false;
+      store ctx auth None
+  | Insn.Clc (rd, rs1, off) ->
+      let auth = with_addr (g rs1) (Iv.add_const (g rs1).addr off) in
+      check_access acc ctx pc ~auth ~size:8 ~is_store:false ~is_cap:true;
+      s rd (load_cap ctx auth)
+  | Insn.Csc (rs2, rs1, off) ->
+      let auth = with_addr (g rs1) (Iv.add_const (g rs1).addr off) in
+      check_access acc ctx pc ~auth ~size:8 ~is_store:true ~is_cap:true;
+      check_store_local acc ctx pc ~auth ~value:(g rs2);
+      store ctx auth (Some (g rs2))
+  | Insn.Cincaddrimm (rd, rs1, imm) ->
+      let c = g rs1 in
+      s rd (with_addr c (Iv.add_const c.addr imm))
+  | Insn.Cincaddr (rd, rs1, rs2) ->
+      let c = g rs1 in
+      let addr =
+        match signed_exact (g rs2).addr with
+        | Some n -> Iv.add_const c.addr n
+        | None -> Iv.full
+      in
+      s rd (with_addr c addr)
+  | Insn.Csetaddr (rd, rs1, rs2) -> s rd (with_addr (g rs1) (g rs2).addr)
+  | Insn.Csetbounds (rd, rs1, rs2) ->
+      s rd (set_bounds_v acc ctx pc (g rs1) (g rs2).addr ~exact:false)
+  | Insn.Csetboundsexact (rd, rs1, rs2) ->
+      s rd (set_bounds_v acc ctx pc (g rs1) (g rs2).addr ~exact:true)
+  | Insn.Csetboundsimm (rd, rs1, imm) ->
+      s rd (set_bounds_v acc ctx pc (g rs1) (Iv.exact imm) ~exact:false)
+  | Insn.Crrl (rd, _) | Insn.Cram (rd, _) -> s rd int_full
+  | Insn.Candperm (rd, rs1, rs2) ->
+      let c = g rs1 in
+      let c =
+        match signed_exact (g rs2).addr with
+        | Some bits ->
+            let mask = Perm.Set.of_arch_bits (bits land 0xFFF) in
+            if Perm.Set.equal c.pmust c.pmay then
+              let p = Perm.legalize (Perm.Set.inter c.pmust mask) in
+              { c with pmust = p; pmay = p }
+            else
+              {
+                c with
+                pmust = Perm.Set.empty;
+                pmay = Perm.Set.inter c.pmay mask;
+              }
+        | None -> { c with pmust = Perm.Set.empty }
+      in
+      let tag =
+        match c.tag with
+        | Tri.False -> Tri.False
+        | _ -> if must_unsealed c then c.tag else Tri.Any
+      in
+      s rd { c with tag }
+  | Insn.Ccleartag (rd, rs1) -> s rd { (g rs1) with tag = Tri.False }
+  | Insn.Cmove (rd, rs1) -> s rd (g rs1)
+  | Insn.Cseal (rd, rs1, _) ->
+      (* success path: the operand was tagged and sealable *)
+      s rd { (g rs1) with tag = Tri.True; ot = Ot_any }
+  | Insn.Cunseal (rd, rs1, rs2) ->
+      let c = g rs1 and key = g rs2 in
+      let c = { c with tag = Tri.True; ot = Ot_exact Otype.unsealed } in
+      let c =
+        if must_perm key Perm.GL then c
+        else { c with pmust = Perm.Set.remove Perm.GL c.pmust }
+      in
+      s rd c
+  | Insn.Cget (Insn.Tag, rd, _) -> s rd (int_v (Iv.v 0 1))
+  | Insn.Cget (Insn.Addr, rd, rs1) -> s rd (int_v (g rs1).addr)
+  | Insn.Cget (Insn.Base, rd, rs1) -> s rd (int_v (g rs1).base)
+  | Insn.Cget (Insn.Top, rd, rs1) -> s rd (int_v (g rs1).top)
+  | Insn.Cget (_, rd, _) -> s rd int_full
+  | Insn.Csub (rd, rs1, rs2) ->
+      s rd (int_v (Iv.sub (g rs1).addr (g rs2).addr))
+  | Insn.Ctestsubset (rd, _, _) | Insn.Csetequalexact (rd, _, _) ->
+      s rd (int_v (Iv.v 0 1))
+  | Insn.Cspecialrw (rd, _, _) -> s rd top_v
+  | Insn.Csr (_, rd, _, _) -> s rd int_full
+  | Insn.Wfi | Insn.Ecall | Insn.Ebreak | Insn.Mret -> ()
+  | Insn.Jal _ | Insn.Jalr _ | Insn.Branch _ ->
+      (* terminators are handled by the successor computation *)
+      ()
+
+(* --- entry and call-boundary states -------------------------------------- *)
+
+(* What a callee may assume about its link register: some valid sentry. *)
+let sentry_like =
+  {
+    top_v with
+    tag = Tri.True;
+    pmust = Perm.Set.of_list [ Perm.GL; Perm.EX ];
+  }
+
+let stack_perms =
+  Capability.perms (Capability.clear_perms Capability.root_mem_rw [ Perm.GL ])
+
+(* The stack capability shape a compartment entry receives: local, SL,
+   bounded within the boot stack; the switcher may have chopped it, so
+   the top and address are intervals. *)
+let stack_v ctx =
+  {
+    tag = Tri.True;
+    ot = Ot_exact Otype.unsealed;
+    pmust = stack_perms;
+    pmay = stack_perms;
+    base = Iv.exact ctx.sbase;
+    top = Iv.v ctx.sbase (ctx.sbase + ctx.ssize);
+    addr = Iv.v ctx.sbase (ctx.sbase + ctx.ssize);
+  }
+
+let entry_state ctx : state =
+  let st = Array.make 16 top_v in
+  st.(0) <- null_v;
+  (* the switcher zeroes non-argument registers on entry; arguments are
+     unconstrained, so a0-a5 stay top *)
+  List.iter (fun r -> st.(r) <- null_v)
+    [ Insn.reg_tp; Insn.reg_t0; Insn.reg_t1; Insn.reg_t2; Insn.reg_s0;
+      Insn.reg_s1 ];
+  st.(Insn.reg_ra) <- sentry_like;
+  st.(Insn.reg_sp) <- stack_v ctx;
+  st.(Insn.reg_gp) <- of_cap ctx.gcap;
+  st
+
+(* Register state after a call returns: sp and gp are preserved (by the
+   intra-compartment ABI, or restored by the switcher on cross-calls);
+   everything else is clobbered. *)
+let clobbered (st : state) : state =
+  Array.mapi
+    (fun i v ->
+      if i = 0 then null_v
+      else if i = Insn.reg_sp || i = Insn.reg_gp then v
+      else top_v)
+    st
+
+let link_v ctx addr =
+  let c = of_cap (Capability.with_address ctx.code_cap addr) in
+  { c with tag = Tri.True; ot = Ot_any }
+
+(* --- the fixpoint --------------------------------------------------------- *)
+
+let successors acc ctx (b : Cfg.block) (st : state) =
+  match b.Cfg.term with
+  | Cfg.T_fall next -> [ (next, st) ]
+  | Cfg.T_stop | Cfg.T_halt -> []
+  | Cfg.T_branch target -> [ (target, st); (b.Cfg.term_pc + 4, copy_state st) ]
+  | Cfg.T_jal (rd, target) ->
+      let callee = copy_state st in
+      if rd <> 0 then set callee rd (link_v ctx (b.Cfg.term_pc + 4));
+      let succ = [ (target, callee) ] in
+      if rd <> 0 then (b.Cfg.term_pc + 4, clobbered st) :: succ else succ
+  | Cfg.T_jalr (rd, rs1, off) -> (
+      match check_jump acc ctx b.Cfg.term_pc (get st rs1) off with
+      | `Trap -> []
+      | `Ok -> if rd = 0 then [] else [ (b.Cfg.term_pc + 4, clobbered st) ])
+
+let run_fixpoint acc ctx (cfg : Cfg.t) =
+  let in_states : (int, state) Hashtbl.t = Hashtbl.create 64 in
+  let visits : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let queued = Hashtbl.create 64 in
+  let push pc st =
+    if Hashtbl.mem cfg.Cfg.blocks pc then begin
+      let changed =
+        match Hashtbl.find_opt in_states pc with
+        | None ->
+            Hashtbl.replace in_states pc (copy_state st);
+            true
+        | Some old ->
+            let n = try Hashtbl.find visits pc with Not_found -> 0 in
+            let joined =
+              if n > 8 then widen_state old (join_state old st)
+              else join_state old st
+            in
+            if equal_state old joined then false
+            else begin
+              Hashtbl.replace in_states pc joined;
+              true
+            end
+      in
+      if changed && not (Hashtbl.mem queued pc) then begin
+        Hashtbl.replace queued pc ();
+        Queue.push pc queue
+      end
+    end
+  in
+  List.iter (fun e -> push e (entry_state ctx)) cfg.Cfg.entries;
+  while not (Queue.is_empty queue) do
+    let pc = Queue.pop queue in
+    Hashtbl.remove queued pc;
+    Hashtbl.replace visits pc
+      (1 + (try Hashtbl.find visits pc with Not_found -> 0));
+    match Hashtbl.find_opt cfg.Cfg.blocks pc with
+    | None -> ()
+    | Some b ->
+        let st = copy_state (Hashtbl.find in_states pc) in
+        List.iter (fun (ipc, i) -> step acc ctx st ipc i) b.Cfg.body;
+        List.iter (fun (succ, st') -> push succ st') (successors acc ctx b st)
+  done
+
+(* --- per-compartment driver ------------------------------------------------ *)
+
+let analyze_compartment acc (t : Loader.t) (name, (b : Loader.built)) =
+  let code_lo = b.Loader.image.Asm.origin in
+  let code_hi = code_lo + Asm.bytes_size b.Loader.image in
+  let ctx =
+    {
+      comp = name;
+      sram = t.Loader.sram;
+      code_cap = b.Loader.code_cap;
+      code_lo;
+      code_hi;
+      gbase = b.Loader.globals_base;
+      gsize = max 16 b.Loader.bc.Compartment.globals_size;
+      gcap = b.Loader.globals_cap;
+      sbase = t.Loader.stack_base;
+      ssize = t.Loader.stack_size;
+      blurred = false;
+      soup = null_v;
+      mem_dirty = false;
+    }
+  in
+  ctx.soup <- initial_soup ctx;
+  let entries =
+    let exports =
+      List.map
+        (fun (e : Compartment.export) ->
+          Asm.label b.Loader.image e.Compartment.exp_label)
+        b.Loader.bc.Compartment.exports
+    in
+    let boot = Capability.address t.Loader.machine.Machine.pcc in
+    let es = if boot >= code_lo && boot < code_hi then boot :: exports
+             else exports in
+    List.sort_uniq compare es
+  in
+  let cfg =
+    Cfg.build ~comp:name ~sram:t.Loader.sram ~lo:code_lo ~hi:code_hi ~entries
+  in
+  List.iter
+    (fun (f : Rules.finding) ->
+      emit acc ?pc:f.Rules.pc ~compartment:f.Rules.compartment f.Rules.rule
+        f.Rules.detail)
+    cfg.Cfg.findings;
+  (* Warm-up rounds with flow emission muted, until the memory summary is
+     stable; then one emission round.  This keeps findings independent of
+     the order in which stores were discovered. *)
+  acc.enabled <- false;
+  let rec warm round =
+    ctx.mem_dirty <- false;
+    run_fixpoint acc ctx cfg;
+    if ctx.mem_dirty then
+      if round >= 4 then begin
+        (* give up on memory precision rather than iterating further *)
+        ctx.soup <- top_v;
+        ctx.mem_dirty <- false;
+        run_fixpoint acc ctx cfg
+      end
+      else warm (round + 1)
+  in
+  warm 0;
+  acc.enabled <- true;
+  run_fixpoint acc ctx cfg
+
+(* --- linkage audit ---------------------------------------------------------- *)
+
+let switcher_export_ot = Otype.v Otype.Data Switcher_asm.export_otype
+
+let audit_linkage acc (t : Loader.t) =
+  let sram = t.Loader.sram in
+  let read_cap_at a =
+    let tag, w = Sram.read_cap sram a in
+    Capability.of_word ~tag w
+  in
+  let switcher_lo = Sram.base sram in
+  let switcher_hi = switcher_lo + 0x800 in
+  List.iter
+    (fun (name, (b : Loader.built)) ->
+      let em ?pc rule detail = emit acc ?pc ~compartment:name rule detail in
+      let gbase = b.Loader.globals_base in
+      let gsize = max 16 b.Loader.bc.Compartment.globals_size in
+      let code_lo = b.Loader.image.Asm.origin in
+      let code_hi = code_lo + Asm.bytes_size b.Loader.image in
+      (* exports: descriptor sentry + globals capability *)
+      List.iter
+        (fun (e : Compartment.export) ->
+          match
+            List.assoc_opt e.Compartment.exp_label b.Loader.descriptors
+          with
+          | None ->
+              em Rules.link_export_posture
+                (Printf.sprintf "export %s has no descriptor"
+                   e.Compartment.exp_label)
+          | Some handle ->
+              let daddr = Capability.base handle in
+              let sentry = read_cap_at daddr in
+              let cgp = read_cap_at (daddr + 8) in
+              let expected = Loader.sentry_of_posture e.Compartment.exp_posture in
+              (if not sentry.Capability.tag then
+                 em Rules.link_export_posture
+                   (Printf.sprintf "export %s: entry is untagged"
+                      e.Compartment.exp_label)
+               else
+                 match Capability.sentry_kind sentry with
+                 | None ->
+                     em Rules.link_export_posture
+                       (Printf.sprintf "export %s: entry is not a sentry"
+                          e.Compartment.exp_label)
+                 | Some k when k <> expected ->
+                     em Rules.link_export_posture
+                       (Printf.sprintf
+                          "export %s: sentry posture differs from declared \
+                           posture"
+                          e.Compartment.exp_label)
+                 | Some _ -> ());
+              let entry = Capability.address sentry in
+              if
+                sentry.Capability.tag
+                && (entry < code_lo || entry >= code_hi
+                   || not (Capability.has_perm sentry Perm.EX))
+              then
+                em Rules.link_export_entry_escape
+                  (Printf.sprintf
+                     "export %s: entry 0x%x outside code region [0x%x, 0x%x)"
+                     e.Compartment.exp_label entry code_lo code_hi);
+              if sentry.Capability.tag && Capability.has_perm sentry Perm.SR
+              then
+                em Rules.link_sr_leak
+                  (Printf.sprintf "export %s: entry sentry carries SR"
+                     e.Compartment.exp_label);
+              if
+                (not cgp.Capability.tag)
+                || Capability.is_sealed cgp
+                || Capability.has_perm cgp Perm.SL
+                || Capability.base cgp < gbase
+                || Capability.top cgp > gbase + gsize
+              then
+                em Rules.link_globals_cap
+                  (Printf.sprintf
+                     "export %s: globals capability malformed or escapes \
+                      [0x%x, 0x%x)"
+                     e.Compartment.exp_label gbase (gbase + gsize)))
+        b.Loader.bc.Compartment.exports;
+      (* imports *)
+      List.iter
+        (fun (i : Compartment.import) ->
+          let slot = i.Compartment.imp_slot in
+          if
+            slot < Compartment.first_free_slot
+            || slot land 7 <> 0
+            || slot + 8 > gsize
+          then
+            em Rules.link_import_slot_range
+              (Printf.sprintf "import %s.%s at slot %d outside globals of \
+                               size %d"
+                 i.Compartment.imp_compartment i.Compartment.imp_export slot
+                 gsize)
+          else
+            let c = read_cap_at (gbase + slot) in
+            if (not c.Capability.tag) || not (Capability.is_sealed c) then
+              em Rules.link_import_unsealed
+                (Printf.sprintf "import slot %d holds an unsealed or untagged \
+                                 capability"
+                   slot)
+            else if not (Otype.equal (Capability.otype c) switcher_export_ot)
+            then
+              em Rules.link_import_wrong_otype
+                (Printf.sprintf "import slot %d sealed with the wrong otype"
+                   slot)
+            else
+              let resolved =
+                match
+                  List.assoc_opt i.Compartment.imp_compartment
+                    t.Loader.compartments
+                with
+                | None -> None
+                | Some tgt ->
+                    List.assoc_opt i.Compartment.imp_export
+                      tgt.Loader.descriptors
+              in
+              match resolved with
+              | Some d when Capability.equal d c -> ()
+              | _ ->
+                  em Rules.link_import_wrong_otype
+                    (Printf.sprintf
+                       "import slot %d does not resolve to %s.%s" slot
+                       i.Compartment.imp_compartment i.Compartment.imp_export))
+        b.Loader.bc.Compartment.imports;
+      (* slot 0: the switcher cross-call sentry *)
+      let c0 = read_cap_at (gbase + Compartment.switcher_slot) in
+      let addr0 = Capability.address c0 in
+      if
+        (not c0.Capability.tag)
+        || Capability.sentry_kind c0 <> Some Otype.Sentry_disable
+        || addr0 < switcher_lo || addr0 >= switcher_hi
+      then
+        em Rules.link_switcher_slot
+          "globals slot 0 is not the switcher's cross-call sentry";
+      (* globals image scan: no local caps, no reserved-otype sealing caps *)
+      let import_slots =
+        Compartment.switcher_slot
+        :: List.map
+             (fun (i : Compartment.import) -> i.Compartment.imp_slot)
+             b.Loader.bc.Compartment.imports
+      in
+      let off = ref 0 in
+      while !off + 8 <= gsize do
+        (if not (List.mem !off import_slots) then
+           let c = read_cap_at (gbase + !off) in
+           if c.Capability.tag then
+             if not (Capability.is_global c) then
+               em Rules.link_local_leak
+                 (Printf.sprintf "tagged local capability at globals+%d" !off)
+             else if
+               (Capability.has_perm c Perm.SE || Capability.has_perm c Perm.US)
+               && (not (Capability.is_sealed c))
+               && Capability.base c <= Switcher_asm.export_otype
+               && Capability.top c > Switcher_asm.export_otype
+             then
+               em Rules.link_reserved_otype
+                 (Printf.sprintf
+                    "sealing capability at globals+%d covers the switcher's \
+                     export otype"
+                    !off));
+        off := !off + 8
+      done)
+    t.Loader.compartments;
+  (* boot register file and layout *)
+  let em ?pc rule detail = emit acc ?pc ~compartment:"system" rule detail in
+  let m = t.Loader.machine in
+  if Capability.has_perm m.Machine.pcc Perm.SR then
+    em Rules.link_sr_leak "boot PCC carries SR";
+  let sp = Machine.reg m Insn.reg_sp in
+  if
+    (not sp.Capability.tag)
+    || Capability.is_sealed sp
+    || Capability.is_global sp
+    || (not (Capability.has_perm sp Perm.SL))
+    || Capability.base sp < t.Loader.stack_base
+    || Capability.top sp > t.Loader.stack_base + t.Loader.stack_size
+  then
+    em Rules.link_stack_cap
+      "boot stack capability must be tagged, local, SL and bounded to the \
+       stack region";
+  if t.Loader.heap_base < t.Loader.stack_base + t.Loader.stack_size then
+    em Rules.link_heap_layout
+      (Printf.sprintf "heap base 0x%x overlaps stacks/static data ending at \
+                       0x%x"
+         t.Loader.heap_base
+         (t.Loader.stack_base + t.Loader.stack_size))
+
+(* --- entry point -------------------------------------------------------------- *)
+
+(** [run t] audits a linked image; returns the findings, most recently
+    discovered first is not guaranteed — order is stable per image. *)
+let run (t : Loader.t) =
+  let acc = acc_create () in
+  audit_linkage acc t;
+  List.iter (fun cb -> analyze_compartment acc t cb) t.Loader.compartments;
+  List.rev acc.findings

@@ -1,0 +1,135 @@
+(* The audit rule catalogue and the findings report.
+
+   Every statically-detectable violation the auditor can report has a
+   stable rule id, grouped by the layer that detects it:
+
+     cfg-*    control-flow recovery over a compartment's code region
+     flow-*   the abstract capability-flow interpretation (fixpoint)
+     link-*   structural checks on the linked image (descriptors,
+              imports, reserved otypes, boot register file)
+
+   A finding pins a rule to a compartment and, for code-level rules, a
+   PC.  Findings are rendered as JSON by [report_to_json]; the schema is
+   documented in the README. *)
+
+type finding = {
+  rule : string;
+  compartment : string;
+  pc : int option;  (** absolute address of the offending instruction *)
+  detail : string;
+}
+
+(* --- rule ids ---------------------------------------------------------- *)
+
+let cfg_undecodable = "cfg-undecodable"
+let cfg_direct_cross = "cfg-direct-cross"
+let cfg_fallthrough_exit = "cfg-fallthrough-exit"
+let flow_store_local_leak = "flow-store-local-leak"
+let flow_oob_access = "flow-oob-access"
+let flow_jump_not_executable = "flow-jump-not-executable"
+let flow_widening_derivation = "flow-widening-derivation"
+let flow_untagged_deref = "flow-untagged-deref"
+let flow_missing_perm = "flow-missing-perm"
+let link_import_unsealed = "link-import-unsealed"
+let link_import_wrong_otype = "link-import-wrong-otype"
+let link_import_slot_range = "link-import-slot-range"
+let link_export_posture = "link-export-posture"
+let link_export_entry_escape = "link-export-entry-escape"
+let link_globals_cap = "link-globals-cap"
+let link_local_leak = "link-local-leak"
+let link_reserved_otype = "link-reserved-otype"
+let link_sr_leak = "link-sr-leak"
+let link_switcher_slot = "link-switcher-slot"
+let link_stack_cap = "link-stack-cap"
+let link_heap_layout = "link-heap-layout"
+
+let catalogue =
+  [
+    (cfg_undecodable, "reachable word does not decode to an instruction");
+    (cfg_direct_cross, "direct jump/branch leaves the compartment's code");
+    (cfg_fallthrough_exit, "execution can fall off the end of the code region");
+    ( flow_store_local_leak,
+      "local (non-GL) capability stored through an SL-lacking authority" );
+    (flow_oob_access, "memory access provably outside capability bounds");
+    ( flow_jump_not_executable,
+      "indirect jump through a provably untagged, non-executable or \
+       sealed non-sentry capability" );
+    ( flow_widening_derivation,
+      "bounds derivation provably requests authority outside the source \
+       capability" );
+    (flow_untagged_deref, "dereference of a provably untagged or sealed capability");
+    (flow_missing_perm, "access through a capability provably lacking the permission");
+    (link_import_unsealed, "import slot holds an untagged or unsealed capability");
+    ( link_import_wrong_otype,
+      "import sealed with an otype other than the switcher's export otype" );
+    (link_import_slot_range, "import slot outside the compartment's globals");
+    (link_export_posture, "export sentry posture differs from the declared posture");
+    (link_export_entry_escape, "export entry points outside the compartment's code");
+    (link_globals_cap, "compartment globals capability malformed (SL, bounds, seal)");
+    (link_local_leak, "tagged local (non-GL) capability present in globals image");
+    ( link_reserved_otype,
+      "sealing capability covering the switcher's reserved otype reachable \
+       from a compartment" );
+    (link_sr_leak, "system-register permission reachable by a compartment");
+    (link_switcher_slot, "globals slot 0 does not hold the switcher cross-call sentry");
+    (link_stack_cap, "boot stack capability malformed (global, SL-less or unbounded)");
+    (link_heap_layout, "heap region overlaps stacks or static data");
+  ]
+
+let v ?pc ~compartment rule detail = { rule; compartment; pc; detail }
+
+let pp_finding ppf f =
+  match f.pc with
+  | Some pc ->
+      Format.fprintf ppf "%s: %s @@ 0x%x: %s" f.rule f.compartment pc f.detail
+  | None -> Format.fprintf ppf "%s: %s: %s" f.rule f.compartment f.detail
+
+(* --- JSON rendering ----------------------------------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let finding_to_json b f =
+  Buffer.add_string b
+    (Printf.sprintf "{\"rule\":\"%s\",\"compartment\":\"%s\",%s\"detail\":\"%s\"}"
+       (json_escape f.rule)
+       (json_escape f.compartment)
+       (match f.pc with
+       | Some pc -> Printf.sprintf "\"pc\":%d," pc
+       | None -> "")
+       (json_escape f.detail))
+
+(* [report_to_json images] renders [(image_name, findings)] pairs as the
+   report the CI gate consumes. *)
+let report_to_json images =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\"images\":[";
+  List.iteri
+    (fun i (name, findings) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"image\":\"%s\",\"findings\":[" (json_escape name));
+      List.iteri
+        (fun j f ->
+          if j > 0 then Buffer.add_char b ',';
+          finding_to_json b f)
+        findings;
+      Buffer.add_string b "]}")
+    images;
+  let total =
+    List.fold_left (fun a (_, fs) -> a + List.length fs) 0 images
+  in
+  Buffer.add_string b (Printf.sprintf "],\"total_findings\":%d}" total);
+  Buffer.contents b

@@ -1,0 +1,138 @@
+(* Tests for the static firmware auditor (lib/analysis).
+
+   Three layers:
+     - every shipped image audits clean (zero findings);
+     - every corpus image trips exactly its expected rule — no false
+       negatives, no false positives;
+     - one named negative test per headline rule (the ISSUE's satellite
+       list: leaked store-local capability, wrong-otype sealed entry,
+       out-of-bounds import, mismatched sentry posture), asserting on the
+       specific rule id so a rule rename breaks loudly. *)
+
+module Rules = Cheriot_analysis.Rules
+module Audit = Cheriot_analysis.Audit
+module Corpus = Cheriot_analysis.Corpus
+module Firmware = Cheriot_workloads.Firmware
+
+let rules_of findings =
+  List.sort_uniq compare (List.map (fun f -> f.Rules.rule) findings)
+
+let check_clean name build () =
+  let findings = Audit.run (build ()) in
+  Alcotest.(check (list string))
+    (name ^ " audits clean")
+    []
+    (List.map (Format.asprintf "%a" Rules.pp_finding) findings)
+
+let check_corpus_entry (e : Corpus.entry) () =
+  let findings = Audit.run (e.Corpus.build ()) in
+  Alcotest.(check bool)
+    (e.Corpus.name ^ " has findings")
+    true (findings <> []);
+  Alcotest.(check (list string))
+    (e.Corpus.name ^ " trips only " ^ e.Corpus.rule)
+    [ e.Corpus.rule ] (rules_of findings)
+
+(* The corpus covers every rule in the catalogue. *)
+let test_corpus_covers_catalogue () =
+  let covered =
+    List.sort_uniq compare (List.map (fun e -> e.Corpus.rule) Corpus.entries)
+  in
+  let all = List.sort_uniq compare (List.map fst Rules.catalogue) in
+  Alcotest.(check (list string)) "corpus covers all rules" all covered
+
+(* --- the four named satellite assertions --------------------------------- *)
+
+let corpus_rule name =
+  let e = List.find (fun e -> e.Corpus.name = name) Corpus.entries in
+  rules_of (Audit.run (e.Corpus.build ()))
+
+let test_leaked_store_local () =
+  Alcotest.(check (list string))
+    "storing the local stack capability through cgp is flagged"
+    [ Rules.flow_store_local_leak ]
+    (corpus_rule "store-local-via-globals")
+
+let test_wrong_otype_entry () =
+  Alcotest.(check (list string))
+    "a sealed entry with a non-switcher otype is flagged"
+    [ Rules.link_import_wrong_otype ]
+    (corpus_rule "import-wrong-otype")
+
+let test_out_of_bounds_import () =
+  Alcotest.(check (list string))
+    "an import slot past the compartment's globals is flagged"
+    [ Rules.link_import_slot_range ]
+    (corpus_rule "import-slot-out-of-range")
+
+let test_mismatched_posture () =
+  Alcotest.(check (list string))
+    "a sentry whose posture differs from the declared one is flagged"
+    [ Rules.link_export_posture ]
+    (corpus_rule "export-posture-mismatch")
+
+(* --- findings carry usable positions ------------------------------------- *)
+
+let test_flow_finding_has_pc () =
+  let e =
+    List.find (fun e -> e.Corpus.name = "oob-after-setbounds") Corpus.entries
+  in
+  let t = e.Corpus.build () in
+  let findings = Audit.run t in
+  let f = List.hd findings in
+  Alcotest.(check bool) "finding has a pc" true (f.Rules.pc <> None);
+  Alcotest.(check string) "in the victim compartment" "victim"
+    f.Rules.compartment;
+  (* the pc points inside the victim's code region *)
+  let b = Cheriot_rtos.Loader.find t "victim" in
+  let lo = b.Cheriot_rtos.Loader.image.Cheriot_isa.Asm.origin in
+  let hi = lo + Cheriot_isa.Asm.bytes_size b.Cheriot_rtos.Loader.image in
+  match f.Rules.pc with
+  | Some pc -> Alcotest.(check bool) "pc in code region" true (pc >= lo && pc < hi)
+  | None -> Alcotest.fail "no pc"
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_json_report_wellformed () =
+  let report =
+    [ ("img", Audit.run ((List.hd Corpus.entries).Corpus.build ())) ]
+  in
+  let s = Rules.report_to_json report in
+  Alcotest.(check bool) "names the image" true (contains ~sub:"\"img\"" s);
+  Alcotest.(check bool) "mentions the rule id" true
+    (contains ~sub:"\"cfg-undecodable\"" s);
+  Alcotest.(check bool) "counts the findings" true
+    (contains ~sub:"\"total_findings\":1" s)
+
+let suite =
+  List.concat
+    [
+      List.map
+        (fun (name, build) ->
+          Alcotest.test_case ("clean: " ^ name) `Quick (check_clean name build))
+        Firmware.shipped;
+      List.map
+        (fun (e : Corpus.entry) ->
+          Alcotest.test_case ("corpus: " ^ e.Corpus.name) `Quick
+            (check_corpus_entry e))
+        Corpus.entries;
+      [
+        Alcotest.test_case "corpus covers catalogue" `Quick
+          test_corpus_covers_catalogue;
+        Alcotest.test_case "leaked store-local capability" `Quick
+          test_leaked_store_local;
+        Alcotest.test_case "wrong-otype sealed entry" `Quick
+          test_wrong_otype_entry;
+        Alcotest.test_case "out-of-bounds import" `Quick
+          test_out_of_bounds_import;
+        Alcotest.test_case "mismatched sentry posture" `Quick
+          test_mismatched_posture;
+        Alcotest.test_case "flow findings carry a pc" `Quick
+          test_flow_finding_has_pc;
+        Alcotest.test_case "json report is well-formed" `Quick
+          test_json_report_wellformed;
+      ];
+    ]

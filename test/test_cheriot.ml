@@ -19,4 +19,5 @@ let () =
       ("integration", Test_integration.suite);
       ("area", Test_area.suite);
       ("workloads", Test_workloads.suite);
+      ("audit", Test_audit.suite);
     ]

@@ -95,6 +95,165 @@ let prop_decode_total =
       ignore (Encode.decode (w lor 0x5B));
       true)
 
+(* --- exhaustive encode/decode roundtrip -------------------------------- *)
+
+(* Deterministic companion to the random property above: every
+   constructor of [Insn.t], with every register value in every register
+   field and boundary values in every immediate field.  ~150k
+   instructions; constructor coverage is asserted via [ctor_index], whose
+   match the compiler keeps exhaustive against [Insn.t]. *)
+
+let ctor_index : Insn.t -> int = function
+  | Lui _ -> 0
+  | Auipcc _ -> 1
+  | Jal _ -> 2
+  | Jalr _ -> 3
+  | Branch _ -> 4
+  | Load _ -> 5
+  | Store _ -> 6
+  | Op_imm _ -> 7
+  | Op _ -> 8
+  | Mul_div _ -> 9
+  | Ecall -> 10
+  | Ebreak -> 11
+  | Mret -> 12
+  | Wfi -> 13
+  | Csr _ -> 14
+  | Clc _ -> 15
+  | Csc _ -> 16
+  | Cincaddr _ -> 17
+  | Cincaddrimm _ -> 18
+  | Csetaddr _ -> 19
+  | Csetbounds _ -> 20
+  | Csetboundsexact _ -> 21
+  | Csetboundsimm _ -> 22
+  | Crrl _ -> 23
+  | Cram _ -> 24
+  | Candperm _ -> 25
+  | Ccleartag _ -> 26
+  | Cmove _ -> 27
+  | Cseal _ -> 28
+  | Cunseal _ -> 29
+  | Cget _ -> 30
+  | Csub _ -> 31
+  | Ctestsubset _ -> 32
+  | Csetequalexact _ -> 33
+  | Cspecialrw _ -> 34
+
+let n_ctors = 35
+
+let exhaustive_insns () =
+  let acc = ref [] in
+  let add i = acc := i :: !acc in
+  let regs = List.init 16 (fun r -> r) in
+  let iter1 f = List.iter f regs in
+  let iter2 f = iter1 (fun a -> iter1 (fun b -> f a b)) in
+  let iter3 f = iter2 (fun a b -> iter1 (fun c -> f a b c)) in
+  let imm12 = [ -2048; -1; 0; 1; 7; 2047 ] in
+  let uimm12 = [ 0; 1; 511; 4095 ] in
+  let imm20 = [ 0; 1; 0xABCDE; 0xFFFFF ] in
+  let boff = [ -4096; -2; 0; 2; 4094 ] in
+  let joff = [ -1048576; -2; 0; 2; 1048574 ] in
+  let shamt = [ 0; 1; 31 ] in
+  let csrs = [ 0x300; 0x342; 0xB00; 0x7C1; 0x7C2 ] in
+  List.iter
+    (fun i ->
+      iter1 (fun rd ->
+          add (Insn.Lui (rd, i));
+          add (Insn.Auipcc (rd, i))))
+    imm20;
+  List.iter (fun o -> iter1 (fun rd -> add (Insn.Jal (rd, o)))) joff;
+  List.iter (fun o -> iter2 (fun rd rs -> add (Insn.Jalr (rd, rs, o)))) imm12;
+  List.iter
+    (fun o ->
+      List.iter
+        (fun c -> iter2 (fun a b -> add (Insn.Branch (c, a, b, o))))
+        Insn.[ Eq; Ne; Lt; Ge; Ltu; Geu ])
+    boff;
+  List.iter
+    (fun off ->
+      List.iter
+        (fun (signed, width) ->
+          iter2 (fun rd rs1 -> add (Insn.Load { signed; width; rd; rs1; off })))
+        Insn.[ (true, B); (false, B); (true, H); (false, H); (true, W) ];
+      List.iter
+        (fun width ->
+          iter2 (fun rs2 rs1 -> add (Insn.Store { width; rs2; rs1; off })))
+        Insn.[ B; H; W ];
+      iter2 (fun rd rs1 ->
+          add (Insn.Clc (rd, rs1, off));
+          add (Insn.Csc (rd, rs1, off));
+          add (Insn.Cincaddrimm (rd, rs1, off)));
+      List.iter
+        (fun op -> iter2 (fun rd rs1 -> add (Insn.Op_imm (op, rd, rs1, off))))
+        Insn.[ Add; Slt; Sltu; Xor; Or; And ])
+    imm12;
+  List.iter
+    (fun sh ->
+      List.iter
+        (fun op -> iter2 (fun rd rs1 -> add (Insn.Op_imm (op, rd, rs1, sh))))
+        Insn.[ Sll; Srl; Sra ])
+    shamt;
+  List.iter
+    (fun op -> iter3 (fun rd rs1 rs2 -> add (Insn.Op (op, rd, rs1, rs2))))
+    Insn.[ Add; Sub; Sll; Slt; Sltu; Xor; Srl; Sra; Or; And ];
+  List.iter
+    (fun op -> iter3 (fun rd rs1 rs2 -> add (Insn.Mul_div (op, rd, rs1, rs2))))
+    Insn.[ Mul; Mulh; Mulhsu; Mulhu; Div; Divu; Rem; Remu ];
+  List.iter add Insn.[ Ecall; Ebreak; Mret; Wfi ];
+  List.iter
+    (fun n ->
+      List.iter
+        (fun op -> iter2 (fun rd rs1 -> add (Insn.Csr (op, rd, rs1, n))))
+        Insn.[ Csrrw; Csrrs; Csrrc ])
+    csrs;
+  iter3 (fun a b c ->
+      add (Insn.Cincaddr (a, b, c));
+      add (Insn.Csetaddr (a, b, c));
+      add (Insn.Csetbounds (a, b, c));
+      add (Insn.Csetboundsexact (a, b, c));
+      add (Insn.Candperm (a, b, c));
+      add (Insn.Cseal (a, b, c));
+      add (Insn.Cunseal (a, b, c));
+      add (Insn.Csub (a, b, c));
+      add (Insn.Ctestsubset (a, b, c));
+      add (Insn.Csetequalexact (a, b, c)));
+  List.iter
+    (fun i -> iter2 (fun a b -> add (Insn.Csetboundsimm (a, b, i))))
+    uimm12;
+  iter2 (fun a b ->
+      add (Insn.Crrl (a, b));
+      add (Insn.Cram (a, b));
+      add (Insn.Ccleartag (a, b));
+      add (Insn.Cmove (a, b));
+      List.iter
+        (fun g -> add (Insn.Cget (g, a, b)))
+        Insn.[ Addr; Base; Top; Len; Perm; Type; Tag ];
+      List.iter
+        (fun s -> add (Insn.Cspecialrw (a, s, b)))
+        Insn.[ MTCC; MTDC; MScratchC; MEPCC ]);
+  !acc
+
+let test_exhaustive_roundtrip () =
+  let insns = exhaustive_insns () in
+  let seen = Array.make n_ctors false in
+  List.iter
+    (fun i ->
+      seen.(ctor_index i) <- true;
+      match Encode.decode (Encode.encode i) with
+      | Some i' when i = i' -> ()
+      | Some i' ->
+          Alcotest.failf "roundtrip changed %s into %s" (Insn.to_string i)
+            (Insn.to_string i')
+      | None -> Alcotest.failf "%s does not decode back" (Insn.to_string i))
+    insns;
+  Array.iteri
+    (fun k covered ->
+      if not covered then Alcotest.failf "constructor %d not enumerated" k)
+    seen;
+  Alcotest.(check bool) "enumeration is substantial" true
+    (List.length insns > 100_000)
+
 (* --- machine harness -------------------------------------------------- *)
 
 let code_base = 0x10000
@@ -569,6 +728,8 @@ let suite =
   [
     q prop_encode_decode;
     q prop_decode_total;
+    Alcotest.test_case "exhaustive encode/decode roundtrip" `Quick
+      test_exhaustive_roundtrip;
     Alcotest.test_case "ALU + branch loop" `Quick test_alu_loop;
     Alcotest.test_case "mul/div" `Quick test_muldiv;
     Alcotest.test_case "loads/stores + sign extension" `Quick
