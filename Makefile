@@ -45,11 +45,13 @@ bench: build
 	dune exec bench/main.exe -- decode_cache
 	dune exec bench/main.exe -- block_exec
 	dune exec bench/main.exe -- chain_exec
+	dune exec bench/main.exe -- audit
 
 bench-smoke: build
 	dune exec bench/main.exe -- decode_cache smoke
 	dune exec bench/main.exe -- block_exec smoke
 	dune exec bench/main.exe -- chain_exec smoke
+	dune exec bench/main.exe -- audit smoke
 
 ci: build lint test parity audit bench-smoke
 

@@ -806,6 +806,59 @@ let chain_exec ?(smoke = false) () =
     exit 1
   end
 
+(* --- static auditor timing ------------------------------------------------ *)
+
+(* Times a full Audit.run (CFG recovery + interprocedural fixpoint +
+   linkage checks) over each shipped image, so auditor slowdowns show up
+   in the perf trajectory alongside the simulator benches.  Doubles as a
+   gate: shipped images must stay clean. *)
+let audit_bench ?(smoke = false) () =
+  section
+    (if smoke then "audit -- smoke (static auditor fixpoint timing)"
+     else "audit -- static auditor fixpoint timing");
+  let runs = if smoke then 2 else 5 in
+  Format.printf "%-12s %12s %10s@." "image" "seconds" "findings";
+  let rows =
+    List.map
+      (fun (name, build) ->
+        let t = build () in
+        let findings = Cheriot_analysis.Audit.run t in
+        let best = ref infinity in
+        for _ = 1 to runs do
+          let t0 = Sys.time () in
+          ignore (Cheriot_analysis.Audit.run t);
+          let dt = Sys.time () -. t0 in
+          if dt < !best then best := dt
+        done;
+        Format.printf "%-12s %12.6f %10d@." name !best (List.length findings);
+        (name, !best, List.length findings))
+      Cheriot_workloads.Firmware.shipped
+  in
+  let total = List.fold_left (fun a (_, s, _) -> a +. s) 0. rows in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"bench\": \"audit\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"images\": [\n" smoke);
+  List.iteri
+    (fun i (name, secs, nf) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"seconds\": %.6f, \"findings\": %d}%s\n" name
+           secs nf
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "  ],\n  \"total_seconds\": %.6f\n}\n" total);
+  let file = if smoke then "BENCH_audit_smoke.json" else "BENCH_audit.json" in
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." file;
+  if List.exists (fun (_, _, nf) -> nf > 0) rows then begin
+    prerr_endline "audit: findings on shipped images";
+    exit 1
+  end
+
 (* --- driver -------------------------------------------------------------- *)
 
 let all () =
@@ -820,6 +873,7 @@ let all () =
   decode_cache ();
   block_exec ();
   chain_exec ();
+  audit_bench ();
   micro ()
 
 let () =
@@ -839,10 +893,12 @@ let () =
   | [| _; "block_exec"; "smoke" |] -> block_exec ~smoke:true ()
   | [| _; "chain_exec" |] -> chain_exec ()
   | [| _; "chain_exec"; "smoke" |] -> chain_exec ~smoke:true ()
+  | [| _; "audit" |] -> audit_bench ()
+  | [| _; "audit"; "smoke" |] -> audit_bench ~smoke:true ()
   | [| _; "micro" |] -> micro ()
   | _ ->
       prerr_endline
         "usage: main.exe \
          [table1|table2|table3|table4|fig5|fig6|iot|ablations|decode_cache \
-         [smoke]|block_exec [smoke]|chain_exec [smoke]|micro]";
+         [smoke]|block_exec [smoke]|chain_exec [smoke]|audit [smoke]|micro]";
       exit 2

@@ -1,14 +1,19 @@
-(* Static firmware auditor driver.
+(* Static firmware auditor driver (the CLI face of {!Cheriot_analysis.Driver}).
 
    Subcommands:
 
-     shipped   audit every image in Firmware.shipped; print the JSON
-               findings report; exit 1 if any finding
-     corpus    audit the deliberately-bad corpus; each image must yield
-               findings for exactly its expected rule; exit 1 on any
-               false negative or false positive
-     all       both of the above (the `make audit` CI gate)
-     rules     list the rule catalogue
+     shipped [NAME]   audit every image in Firmware.shipped (or just
+                      NAME); print the JSON findings report
+     corpus           audit the deliberately-bad corpus; each image must
+                      yield findings for exactly its expected rule
+     all              both of the above (the `make audit` CI gate)
+     rules            list the rule catalogue
+
+   All auditing subcommands accept `--rule ID` to restrict the report
+   (shipped) or the corpus selection to one rule.
+
+   Exit codes: 0 clean; 1 findings / corpus failure; 2 analysis error,
+   unknown image or unknown rule.
 
    JSON schema (see README):
      { "images": [ { "image": <name>,
@@ -18,82 +23,49 @@
        "total_findings": <int> }                                        *)
 
 open Cmdliner
-module Rules = Cheriot_analysis.Rules
-module Audit = Cheriot_analysis.Audit
-module Corpus = Cheriot_analysis.Corpus
+module Driver = Cheriot_analysis.Driver
 module Firmware = Cheriot_workloads.Firmware
 
-let audit_shipped () =
-  let report =
-    List.map (fun (name, build) -> (name, Audit.run (build ()))) Firmware.shipped
-  in
-  print_endline (Rules.report_to_json report);
-  let total = List.fold_left (fun a (_, fs) -> a + List.length fs) 0 report in
-  if total = 0 then begin
-    Printf.eprintf "shipped: %d images clean\n%!" (List.length report);
-    0
-  end
-  else begin
-    Printf.eprintf "shipped: %d findings on shipped images\n%!" total;
-    1
-  end
+let rule_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "rule" ] ~docv:"ID" ~doc:"Restrict to findings for rule $(docv).")
 
-let audit_corpus () =
-  let failures = ref 0 in
-  List.iter
-    (fun (e : Corpus.entry) ->
-      let findings = Audit.run (e.Corpus.build ()) in
-      let hit =
-        List.exists (fun (f : Rules.finding) -> f.Rules.rule = e.Corpus.rule)
-          findings
-      in
-      let spurious =
-        List.filter (fun (f : Rules.finding) -> f.Rules.rule <> e.Corpus.rule)
-          findings
-      in
-      if hit && spurious = [] then
-        Printf.eprintf "corpus: PASS %-26s -> %s\n%!" e.Corpus.name
-          e.Corpus.rule
-      else begin
-        incr failures;
-        Printf.eprintf "corpus: FAIL %-26s expected %s\n%!" e.Corpus.name
-          e.Corpus.rule;
-        if not hit then Printf.eprintf "         missed (false negative)\n%!";
-        List.iter
-          (fun f ->
-            Printf.eprintf "         spurious: %s\n%!"
-              (Format.asprintf "%a" Rules.pp_finding f))
-          spurious
-      end)
-    Corpus.entries;
-  if !failures = 0 then begin
-    Printf.eprintf "corpus: %d/%d images detected exactly\n%!"
-      (List.length Corpus.entries)
-      (List.length Corpus.entries);
-    0
-  end
-  else 1
-
-let list_rules () =
-  List.iter (fun (id, doc) -> Printf.printf "%-26s %s\n" id doc) Rules.catalogue;
-  0
-
-let cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ const ())
+let name_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"IMAGE" ~doc:"Audit only this shipped image.")
 
 let () =
   let info =
     Cmd.info "cheriot_audit" ~version:"1.0"
       ~doc:"static auditor for linked CHERIoT firmware images"
   in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            cmd "shipped" "audit the shipped firmware images" audit_shipped;
-            cmd "corpus" "audit the deliberately-bad corpus" audit_corpus;
-            cmd "all" "shipped + corpus (the CI gate)" (fun () ->
-                let a = audit_shipped () in
-                let b = audit_corpus () in
-                if a + b = 0 then 0 else 1);
-            cmd "rules" "list the rule catalogue" list_rules;
-          ]))
+  let shipped =
+    Cmd.v
+      (Cmd.info "shipped" ~doc:"audit the shipped firmware images")
+      Term.(
+        const (fun name rule ->
+            Driver.shipped ~images:Firmware.shipped ?name ?rule ())
+        $ name_arg $ rule_arg)
+  in
+  let corpus =
+    Cmd.v
+      (Cmd.info "corpus" ~doc:"audit the deliberately-bad corpus")
+      Term.(const (fun rule -> Driver.corpus ?rule ()) $ rule_arg)
+  in
+  let all =
+    Cmd.v
+      (Cmd.info "all" ~doc:"shipped + corpus (the CI gate)")
+      Term.(
+        const (fun rule -> Driver.all ~images:Firmware.shipped ?rule ())
+        $ rule_arg)
+  in
+  let rules =
+    Cmd.v
+      (Cmd.info "rules" ~doc:"list the rule catalogue")
+      Term.(const Driver.rules $ const ())
+  in
+  exit (Cmd.eval' (Cmd.group info [ shipped; corpus; all; rules ]))

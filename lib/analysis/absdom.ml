@@ -15,7 +15,11 @@
      ot     otype: exact or unknown (sealedness derives from it)
      pmust  permissions every concretization has
      pmay   permissions some concretization may have (pmust ⊆ pmay)
-     base, top, addr   intervals over [0, 2^32]                       *)
+     base, top, addr   intervals over [0, 2^32]
+     from_load  provenance: the value may have travelled through memory
+                (set by every abstract load; joins as OR).  Rules use it
+                to tell a directly-leaked register value from one
+                laundered through a second location.                    *)
 
 open Cheriot_core
 
@@ -67,6 +71,7 @@ type v = {
   base : Iv.t;
   top : Iv.t;
   addr : Iv.t;
+  from_load : bool;
 }
 
 let all_perms = Perm.Set.of_list Perm.all
@@ -80,6 +85,7 @@ let top_v =
     base = Iv.full;
     top = Iv.full;
     addr = Iv.full;
+    from_load = true;
   }
 
 (* A known integer (or the null capability): untagged, no authority. *)
@@ -92,6 +98,7 @@ let int_v iv =
     base = Iv.exact 0;
     top = Iv.exact 0;
     addr = iv;
+    from_load = false;
   }
 
 let null_v = int_v (Iv.exact 0)
@@ -108,6 +115,7 @@ let of_cap (c : Capability.t) =
     base = Iv.exact (Capability.base c);
     top = Iv.exact (Capability.top c);
     addr = Iv.exact (Capability.address c);
+    from_load = false;
   }
 
 let join_ot a b =
@@ -130,6 +138,7 @@ let join a b =
     base = Iv.join a.base b.base;
     top = Iv.join a.top b.top;
     addr = Iv.join a.addr b.addr;
+    from_load = a.from_load || b.from_load;
   }
 
 (* Join with interval widening relative to [old] — applied at loop heads
@@ -143,6 +152,7 @@ let widen old nw =
     base = Iv.widen old.base (Iv.join old.base nw.base);
     top = Iv.widen old.top (Iv.join old.top nw.top);
     addr = Iv.widen old.addr (Iv.join old.addr nw.addr);
+    from_load = old.from_load || nw.from_load;
   }
 
 let equal a b =
@@ -150,6 +160,26 @@ let equal a b =
   && Perm.Set.equal a.pmust b.pmust
   && Perm.Set.equal a.pmay b.pmay
   && Iv.equal a.base b.base && Iv.equal a.top b.top && Iv.equal a.addr b.addr
+  && a.from_load = b.from_load
+
+(* Abstract ordering: [leq a b] iff every concretization of [a] is one of
+   [b] — i.e. [b] is the more abstract value.  Must-components shrink
+   upward, may-components grow. *)
+let leq_ot a b =
+  match (a, b) with
+  | _, Ot_any -> true
+  | Ot_exact x, Ot_exact y -> Otype.equal x y
+  | Ot_any, Ot_exact _ -> false
+
+let leq_iv (a : Iv.t) (b : Iv.t) = b.Iv.lo <= a.Iv.lo && a.Iv.hi <= b.Iv.hi
+
+let leq a b =
+  (a.tag = b.tag || b.tag = Tri.Any)
+  && leq_ot a.ot b.ot
+  && Perm.Set.subset b.pmust a.pmust
+  && Perm.Set.subset a.pmay b.pmay
+  && leq_iv a.base b.base && leq_iv a.top b.top && leq_iv a.addr b.addr
+  && ((not a.from_load) || b.from_load)
 
 (* --- must-queries (the only evidence findings may use) ------------------ *)
 

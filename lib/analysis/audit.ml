@@ -57,13 +57,37 @@ type ctx = {
   gcap : Capability.t;
   sbase : int;
   ssize : int;
-  mutable blurred : bool;
-      (* a store may have hit the globals: exact initial-image reads are
-         no longer valid *)
+  hbase : int;
+  hsize : int;
+  field_sensitive : bool;
   mutable soup : v;
       (* join of the initial globals image and every value the
-         compartment may have stored — what a weak capability load sees *)
+         compartment may have stored — the coarse fallback a weak
+         (non-singleton-address) capability load sees *)
+  granules : (int, v) Hashtbl.t;
+      (* field-sensitive store map: 8-byte globals granule -> monotone
+         join of every value possibly stored there (absence = never
+         stored through a singleton address).  Data stores join an
+         untagged unknown: they clear the granule's tag. *)
+  mutable wild : v option;
+      (* join of every value stored through a non-singleton or
+         non-globals address: may alias any granule *)
+  fwd : (int, v) Hashtbl.t;
+      (* block-local store-to-load forwarding: granule -> last value
+         stored this block through a singleton address.  Strong updates
+         are sound within a basic block; reset at every block entry and
+         on any possibly-aliasing store. *)
   mutable mem_dirty : bool;  (* memory summary grew during this round *)
+  mutable use_summaries : bool;
+  summaries : (int, state) Hashtbl.t;
+      (* call summaries: callee entry pc -> widened join of its return
+         states, grown across warm-up rounds to a joint fixpoint with
+         the memory summary *)
+  callees : (int, unit) Hashtbl.t;  (* entries already summarised *)
+  ret_map : (int, int list) Hashtbl.t;
+      (* return-block leader -> entries of the functions it returns from
+         (intraprocedural reachability, computed once per callee) *)
+  mutable sum_dirty : bool;  (* a summary grew during this round *)
 }
 
 let globals_region ctx (a : v) =
@@ -114,39 +138,94 @@ let attenuate ~auth v =
 
 (* --- abstract memory ---------------------------------------------------- *)
 
-let load_cap ctx (auth : v) =
-  match globals_region ctx auth with
-  | `Stack -> top_v
-  | `Other -> top_v
-  | `Globals ->
-      if (not ctx.blurred) && Iv.is_exact auth.addr then begin
-        let a = auth.addr.Iv.lo in
-        if a land 7 = 0 && a >= ctx.gbase && a + 8 <= ctx.gbase + ctx.gsize
-        then attenuate ~auth (read_cap_v ctx.sram a)
-        else top_v
-      end
-      else attenuate ~auth ctx.soup
+(* A globals granule address when the access provably hits exactly one
+   8-byte-aligned slot of this compartment's globals. *)
+let exact_granule ctx (auth : v) ~size =
+  if Iv.is_exact auth.addr then begin
+    let a = auth.addr.Iv.lo in
+    if
+      a land 7 = 0 && size = 8 && a >= ctx.gbase
+      && a + 8 <= ctx.gbase + ctx.gsize
+    then Some a
+    else None
+  end
+  else None
 
+(* What an exact capability load from granule [a] may observe: the
+   initial image joined with everything possibly stored there.  The
+   analysis never mutates SRAM, so the initial read stays valid. *)
+let granule_view ctx a =
+  let v = read_cap_v ctx.sram a in
+  let v =
+    match Hashtbl.find_opt ctx.granules a with
+    | Some s -> join v s
+    | None -> v
+  in
+  match ctx.wild with Some w -> join v w | None -> v
+
+let load_cap ctx (auth : v) =
+  let v =
+    match globals_region ctx auth with
+    | `Stack -> top_v
+    | `Other -> top_v
+    | `Globals -> (
+        if not ctx.field_sensitive then attenuate ~auth ctx.soup
+        else
+          match exact_granule ctx auth ~size:8 with
+          | Some a -> (
+              match Hashtbl.find_opt ctx.fwd a with
+              | Some f -> attenuate ~auth f
+              | None -> attenuate ~auth (granule_view ctx a))
+          | None -> attenuate ~auth ctx.soup)
+  in
+  { v with from_load = true }
+
+(* An int load is exact only when its granule was provably never stored
+   through: a store there makes both halves of the word unknown. *)
 let load_int ctx (auth : v) =
   match globals_region ctx auth with
   | `Globals
-    when (not ctx.blurred) && Iv.is_exact auth.addr
+    when ctx.field_sensitive && Iv.is_exact auth.addr
          && auth.addr.Iv.lo land 3 = 0
          && auth.addr.Iv.lo >= ctx.gbase
-         && auth.addr.Iv.lo + 4 <= ctx.gbase + ctx.gsize ->
-      int_v (Iv.exact (Sram.read32 ctx.sram auth.addr.Iv.lo))
-  | _ -> int_full
+         && auth.addr.Iv.lo + 4 <= ctx.gbase + ctx.gsize
+         && ctx.wild = None
+         && not (Hashtbl.mem ctx.granules (auth.addr.Iv.lo land lnot 7)) ->
+      { (int_v (Iv.exact (Sram.read32 ctx.sram auth.addr.Iv.lo))) with
+        from_load = true }
+  | _ -> { int_full with from_load = true }
 
-let store ctx (auth : v) (value : v option) =
+let join_granule ctx a v =
+  let v' =
+    match Hashtbl.find_opt ctx.granules a with
+    | None -> v
+    | Some old -> join old v
+  in
+  (match Hashtbl.find_opt ctx.granules a with
+  | Some old when equal old v' -> ()
+  | _ ->
+      Hashtbl.replace ctx.granules a v';
+      ctx.mem_dirty <- true)
+
+let join_wild ctx v =
+  let v' = match ctx.wild with None -> v | Some w -> join w v in
+  match ctx.wild with
+  | Some w when equal w v' -> ()
+  | _ ->
+      ctx.wild <- Some v';
+      ctx.mem_dirty <- true
+
+(* The abstract value a data store leaves in a granule: untagged, bytes
+   unknown (a partial overwrite clears the whole granule's tag). *)
+let data_smash = int_full
+
+let store ctx (auth : v) (value : v option) ~size =
   (* [value = None] is a data store: it cannot install a capability but
-     can clear a granule's tag, so the soup gains an untagged case. *)
+     can clear a granule's tag. *)
   match globals_region ctx auth with
   | `Stack -> ()
-  | `Globals | `Other ->
-      if not ctx.blurred then begin
-        ctx.blurred <- true;
-        ctx.mem_dirty <- true
-      end;
+  | (`Globals | `Other) as region ->
+      (* coarse fallback summary, always maintained *)
       let soup' =
         match value with
         | Some v -> join ctx.soup v
@@ -155,7 +234,31 @@ let store ctx (auth : v) (value : v option) =
       if not (equal soup' ctx.soup) then begin
         ctx.soup <- soup';
         ctx.mem_dirty <- true
-      end
+      end;
+      if ctx.field_sensitive then
+        match (region, value) with
+        | `Globals, Some v when exact_granule ctx auth ~size:8 <> None ->
+            let a = auth.addr.Iv.lo in
+            join_granule ctx a v;
+            Hashtbl.replace ctx.fwd a v
+        | `Globals, None when Iv.is_exact auth.addr ->
+            (* data store: smash the granule(s) the access touches *)
+            let a = auth.addr.Iv.lo in
+            let g0 = a land lnot 7 and g1 = (a + size - 1) land lnot 7 in
+            List.iter
+              (fun g ->
+                if g >= ctx.gbase && g + 8 <= ctx.gbase + ctx.gsize then begin
+                  join_granule ctx g data_smash;
+                  Hashtbl.replace ctx.fwd g data_smash
+                end
+                else join_wild ctx data_smash)
+              (if g0 = g1 then [ g0 ] else [ g0; g1 ])
+        | _ ->
+            (* may alias any granule: weaken the wild summary and drop
+               all block-local forwarding *)
+            join_wild ctx
+              (match value with Some v -> v | None -> data_smash);
+            Hashtbl.reset ctx.fwd
 
 (* --- flow checks (must-evidence only) ----------------------------------- *)
 
@@ -180,14 +283,36 @@ let check_access acc ctx pc ~auth ~size ~is_store ~is_cap =
         (Printf.sprintf "%d-byte access provably outside bounds" size)
   end
 
-let check_store_local acc ctx pc ~auth ~value =
-  if
-    Tri.must_true auth.tag && Tri.must_true value.tag
-    && (not (may_perm value Perm.GL))
-    && not (may_perm auth Perm.SL)
-  then
-    emit acc ~pc ~compartment:ctx.comp Rules.flow_store_local_leak
-      "local (non-GL) capability stored through an SL-lacking authority"
+(* Every concretization of [value] is a capability bounded within the
+   heap region — the shape only a heap allocation (or a shrink of one)
+   can have. *)
+let must_heap_derived ctx (value : v) =
+  ctx.hsize > 0
+  && value.base.Iv.lo >= ctx.hbase
+  && value.top.Iv.hi <= ctx.hbase + ctx.hsize
+  && value.top.Iv.hi > value.base.Iv.lo
+
+let check_store_value acc ctx pc ~auth ~value =
+  if Tri.must_true auth.tag && Tri.must_true value.tag then begin
+    let non_gl = not (may_perm value Perm.GL) in
+    if
+      non_gl && must_heap_derived ctx value
+      && globals_region ctx auth = `Globals
+    then
+      (* most specific first: a GL-stripped heap capability parked in
+         globals outlives revocation's reach (paper 3.5) *)
+      emit acc ~pc ~compartment:ctx.comp Rules.tmp_heap_escape
+        "heap-derived capability without GL stored to globals: escapes \
+         revocation sweeps"
+    else if non_gl && not (may_perm auth Perm.SL) then
+      if value.from_load then
+        emit acc ~pc ~compartment:ctx.comp Rules.flow_launder_local
+          "local (non-GL) capability laundered through memory and re-stored \
+           through an SL-lacking authority"
+      else
+        emit acc ~pc ~compartment:ctx.comp Rules.flow_store_local_leak
+          "local (non-GL) capability stored through an SL-lacking authority"
+  end
 
 (* Jump checks for Jalr; [`Trap] means provably trapping: no successor. *)
 let check_jump acc ctx pc target off =
@@ -295,7 +420,7 @@ let step acc ctx (st : state) pc (i : Insn.t) =
       let size = match width with Insn.B -> 1 | Insn.H -> 2 | Insn.W -> 4 in
       let auth = with_addr (g rs1) (Iv.add_const (g rs1).addr off) in
       check_access acc ctx pc ~auth ~size ~is_store:true ~is_cap:false;
-      store ctx auth None
+      store ctx auth None ~size
   | Insn.Clc (rd, rs1, off) ->
       let auth = with_addr (g rs1) (Iv.add_const (g rs1).addr off) in
       check_access acc ctx pc ~auth ~size:8 ~is_store:false ~is_cap:true;
@@ -303,8 +428,8 @@ let step acc ctx (st : state) pc (i : Insn.t) =
   | Insn.Csc (rs2, rs1, off) ->
       let auth = with_addr (g rs1) (Iv.add_const (g rs1).addr off) in
       check_access acc ctx pc ~auth ~size:8 ~is_store:true ~is_cap:true;
-      check_store_local acc ctx pc ~auth ~value:(g rs2);
-      store ctx auth (Some (g rs2))
+      check_store_value acc ctx pc ~auth ~value:(g rs2);
+      store ctx auth (Some (g rs2)) ~size:8
   | Insn.Cincaddrimm (rd, rs1, imm) ->
       let c = g rs1 in
       s rd (with_addr c (Iv.add_const c.addr imm))
@@ -401,6 +526,7 @@ let stack_v ctx =
     base = Iv.exact ctx.sbase;
     top = Iv.v ctx.sbase (ctx.sbase + ctx.ssize);
     addr = Iv.v ctx.sbase (ctx.sbase + ctx.ssize);
+    from_load = false;
   }
 
 let entry_state ctx : state =
@@ -431,9 +557,101 @@ let link_v ctx addr =
   let c = of_cap (Capability.with_address ctx.code_cap addr) in
   { c with tag = Tri.True; ot = Ot_any }
 
+(* --- call summaries -------------------------------------------------------- *)
+
+(* Register a callee entry: compute its intraprocedural block set (follow
+   fall-throughs, branch arms, direct-goto edges and call continuations;
+   stop at returns) and record which return blocks belong to it, so exit
+   states can be attributed when the fixpoint reaches them. *)
+let register_callee ctx (cfg : Cfg.t) entry =
+  if not (Hashtbl.mem ctx.callees entry) then begin
+    Hashtbl.replace ctx.callees entry ();
+    let seen = Hashtbl.create 16 in
+    let queue = Queue.create () in
+    let push pc =
+      if Hashtbl.mem cfg.Cfg.blocks pc && not (Hashtbl.mem seen pc) then begin
+        Hashtbl.replace seen pc ();
+        Queue.push pc queue
+      end
+    in
+    push entry;
+    while not (Queue.is_empty queue) do
+      let pc = Queue.pop queue in
+      match Hashtbl.find_opt cfg.Cfg.blocks pc with
+      | None -> ()
+      | Some b ->
+          if Cfg.is_return b then
+            Hashtbl.replace ctx.ret_map pc
+              (entry
+               ::
+               (match Hashtbl.find_opt ctx.ret_map pc with
+               | Some l -> l
+               | None -> []))
+          else
+            List.iter push
+              (match b.Cfg.term with
+              | Cfg.T_jal (rd, target) when rd <> 0 ->
+                  (* a nested call: the callee body is not ours; resume
+                     at the continuation *)
+                  ignore target;
+                  [ b.Cfg.term_pc + 4 ]
+              | _ -> Cfg.block_succs b)
+    done
+  end
+
+(* Record a return block's exit state against every function it can
+   return from.  Widening (rather than a plain join) bounds the chains a
+   recursive summary could otherwise grow across rounds. *)
+let record_return ctx pc (st : state) =
+  match Hashtbl.find_opt ctx.ret_map pc with
+  | None -> ()
+  | Some entries ->
+      List.iter
+        (fun f ->
+          match Hashtbl.find_opt ctx.summaries f with
+          | None ->
+              Hashtbl.replace ctx.summaries f (copy_state st);
+              ctx.sum_dirty <- true
+          | Some old ->
+              let nw = widen_state old st in
+              if not (equal_state old nw) then begin
+                Hashtbl.replace ctx.summaries f nw;
+                ctx.sum_dirty <- true
+              end)
+        entries
+
+(* Caller state after a summarised call returns: sp and gp are
+   callee-saved by the intra-compartment ABI; everything else is what
+   the callee's exit states say. *)
+let merge_return (caller : state) (sum : state) : state =
+  Array.init 16 (fun i ->
+      if i = 0 then null_v
+      else if i = Insn.reg_sp || i = Insn.reg_gp then caller.(i)
+      else sum.(i))
+
+let call_continuation ctx pc target (st : state) =
+  match Hashtbl.find_opt ctx.summaries target with
+  | Some s when ctx.use_summaries -> (pc, merge_return st s)
+  | _ -> (pc, clobbered st)
+
+(* A Jalr operand that provably is a forward sentry into this
+   compartment's own code, at a block the CFG recovered: an
+   intra-compartment indirect call the summary machinery can model. *)
+let intra_sentry_target ctx (cfg : Cfg.t) (target : v) off =
+  if not (ctx.use_summaries && off = 0 && Tri.must_true target.tag) then None
+  else
+    match sentry_kind_exact target with
+    | Some (Otype.Sentry_enable | Otype.Sentry_disable | Otype.Sentry_inherit)
+      when Iv.is_exact target.addr ->
+        let a = target.addr.Iv.lo in
+        if a >= ctx.code_lo && a < ctx.code_hi && Hashtbl.mem cfg.Cfg.blocks a
+        then Some a
+        else None
+    | _ -> None
+
 (* --- the fixpoint --------------------------------------------------------- *)
 
-let successors acc ctx (b : Cfg.block) (st : state) =
+let successors acc ctx (cfg : Cfg.t) (b : Cfg.block) (st : state) =
   match b.Cfg.term with
   | Cfg.T_fall next -> [ (next, st) ]
   | Cfg.T_stop | Cfg.T_halt -> []
@@ -442,11 +660,27 @@ let successors acc ctx (b : Cfg.block) (st : state) =
       let callee = copy_state st in
       if rd <> 0 then set callee rd (link_v ctx (b.Cfg.term_pc + 4));
       let succ = [ (target, callee) ] in
-      if rd <> 0 then (b.Cfg.term_pc + 4, clobbered st) :: succ else succ
+      if rd <> 0 then begin
+        register_callee ctx cfg target;
+        call_continuation ctx (b.Cfg.term_pc + 4) target st :: succ
+      end
+      else succ
   | Cfg.T_jalr (rd, rs1, off) -> (
-      match check_jump acc ctx b.Cfg.term_pc (get st rs1) off with
+      let target = get st rs1 in
+      match check_jump acc ctx b.Cfg.term_pc target off with
       | `Trap -> []
-      | `Ok -> if rd = 0 then [] else [ (b.Cfg.term_pc + 4, clobbered st) ])
+      | `Ok -> (
+          match intra_sentry_target ctx cfg target off with
+          | Some a ->
+              register_callee ctx cfg a;
+              let callee = copy_state st in
+              if rd <> 0 then set callee rd (link_v ctx (b.Cfg.term_pc + 4));
+              let succ = [ (a, callee) ] in
+              if rd <> 0 then
+                call_continuation ctx (b.Cfg.term_pc + 4) a st :: succ
+              else succ
+          | None ->
+              if rd = 0 then [] else [ (b.Cfg.term_pc + 4, clobbered st) ]))
 
 let run_fixpoint acc ctx (cfg : Cfg.t) =
   let in_states : (int, state) Hashtbl.t = Hashtbl.create 64 in
@@ -487,14 +721,18 @@ let run_fixpoint acc ctx (cfg : Cfg.t) =
     match Hashtbl.find_opt cfg.Cfg.blocks pc with
     | None -> ()
     | Some b ->
+        Hashtbl.reset ctx.fwd;
         let st = copy_state (Hashtbl.find in_states pc) in
         List.iter (fun (ipc, i) -> step acc ctx st ipc i) b.Cfg.body;
-        List.iter (fun (succ, st') -> push succ st') (successors acc ctx b st)
+        if Cfg.is_return b then record_return ctx pc st;
+        List.iter (fun (succ, st') -> push succ st')
+          (successors acc ctx cfg b st)
   done
 
 (* --- per-compartment driver ------------------------------------------------ *)
 
-let analyze_compartment acc (t : Loader.t) (name, (b : Loader.built)) =
+let analyze_compartment acc ~call_summaries ~field_sensitive (t : Loader.t)
+    (name, (b : Loader.built)) =
   let code_lo = b.Loader.image.Asm.origin in
   let code_hi = code_lo + Asm.bytes_size b.Loader.image in
   let ctx =
@@ -509,24 +747,41 @@ let analyze_compartment acc (t : Loader.t) (name, (b : Loader.built)) =
       gcap = b.Loader.globals_cap;
       sbase = t.Loader.stack_base;
       ssize = t.Loader.stack_size;
-      blurred = false;
+      hbase = t.Loader.heap_base;
+      hsize = t.Loader.heap_size;
+      field_sensitive;
       soup = null_v;
+      granules = Hashtbl.create 16;
+      wild = None;
+      fwd = Hashtbl.create 8;
       mem_dirty = false;
+      use_summaries = call_summaries;
+      summaries = Hashtbl.create 8;
+      callees = Hashtbl.create 8;
+      ret_map = Hashtbl.create 8;
+      sum_dirty = false;
     }
   in
   ctx.soup <- initial_soup ctx;
-  let entries =
-    let exports =
-      List.map
-        (fun (e : Compartment.export) ->
-          Asm.label b.Loader.image e.Compartment.exp_label)
-        b.Loader.bc.Compartment.exports
-    in
-    let boot = Capability.address t.Loader.machine.Machine.pcc in
-    let es = if boot >= code_lo && boot < code_hi then boot :: exports
-             else exports in
-    List.sort_uniq compare es
+  let boot = Capability.address t.Loader.machine.Machine.pcc in
+  let export_entries =
+    List.map
+      (fun (e : Compartment.export) ->
+        ( Asm.label b.Loader.image e.Compartment.exp_label,
+          match e.Compartment.exp_posture with
+          | Compartment.Interrupts_enabled -> Some true
+          | Compartment.Interrupts_disabled -> Some false
+          | Compartment.Interrupts_inherited -> None ))
+      b.Loader.bc.Compartment.exports
   in
+  let posture_entries =
+    if
+      boot >= code_lo && boot < code_hi
+      && not (List.mem_assoc boot export_entries)
+    then (boot, Some true) :: export_entries
+    else export_entries
+  in
+  let entries = List.sort_uniq compare (List.map fst posture_entries) in
   let cfg =
     Cfg.build ~comp:name ~sram:t.Loader.sram ~lo:code_lo ~hi:code_hi ~entries
   in
@@ -535,25 +790,40 @@ let analyze_compartment acc (t : Loader.t) (name, (b : Loader.built)) =
       emit acc ?pc:f.Rules.pc ~compartment:f.Rules.compartment f.Rules.rule
         f.Rules.detail)
     cfg.Cfg.findings;
-  (* Warm-up rounds with flow emission muted, until the memory summary is
-     stable; then one emission round.  This keeps findings independent of
-     the order in which stores were discovered. *)
+  (* Warm-up rounds with flow emission muted, until the memory and call
+     summaries reach a joint fixpoint; then one emission round.  This
+     keeps findings independent of the order in which stores and calls
+     were discovered.  Each round re-runs from scratch against the
+     summaries the previous rounds accumulated (both are monotone). *)
   acc.enabled <- false;
   let rec warm round =
     ctx.mem_dirty <- false;
+    ctx.sum_dirty <- false;
     run_fixpoint acc ctx cfg;
-    if ctx.mem_dirty then
-      if round >= 4 then begin
-        (* give up on memory precision rather than iterating further *)
+    if ctx.mem_dirty || ctx.sum_dirty then
+      if round >= 8 then begin
+        (* give up on memory and call precision rather than iterating
+           further: coarse but sound *)
         ctx.soup <- top_v;
+        Hashtbl.reset ctx.granules;
+        ctx.wild <- Some top_v;
+        Hashtbl.reset ctx.summaries;
+        ctx.use_summaries <- false;
         ctx.mem_dirty <- false;
+        ctx.sum_dirty <- false;
         run_fixpoint acc ctx cfg
       end
       else warm (round + 1)
   in
   warm 0;
   acc.enabled <- true;
-  run_fixpoint acc ctx cfg
+  run_fixpoint acc ctx cfg;
+  (* interrupt-posture rules over the same CFG *)
+  List.iter
+    (fun (f : Rules.finding) ->
+      emit acc ?pc:f.Rules.pc ~compartment:f.Rules.compartment f.Rules.rule
+        f.Rules.detail)
+    (Irq.analyze ~comp:name ~cfg ~entries:posture_entries ())
 
 (* --- linkage audit ---------------------------------------------------------- *)
 
@@ -655,6 +925,22 @@ let audit_linkage acc (t : Loader.t) =
                 (Printf.sprintf "import slot %d holds an unsealed or untagged \
                                  capability"
                    slot)
+            else if
+              (* temporal: the slot's range must reference live static
+                 memory, not the revocable heap or unmapped space *)
+              (let lo = Capability.base c and hi = Capability.top c in
+               let heap_lo = t.Loader.heap_base in
+               let heap_hi = t.Loader.heap_base + t.Loader.heap_size in
+               let sram_lo = Sram.base sram in
+               let sram_hi = sram_lo + Sram.size sram in
+               (lo < heap_hi && hi > heap_lo) || hi <= sram_lo
+               || lo >= sram_hi)
+            then
+              em Rules.tmp_import_dangling
+                (Printf.sprintf
+                   "import slot %d references the revocable heap or unmapped \
+                    memory"
+                   slot)
             else if not (Otype.equal (Capability.otype c) switcher_export_ot)
             then
               em Rules.link_import_wrong_otype
@@ -745,9 +1031,14 @@ let audit_linkage acc (t : Loader.t) =
 (* --- entry point -------------------------------------------------------------- *)
 
 (** [run t] audits a linked image; returns the findings, most recently
-    discovered first is not guaranteed — order is stable per image. *)
-let run (t : Loader.t) =
+    discovered first is not guaranteed — order is stable per image.
+    [call_summaries] and [field_sensitive] exist to let tests prove the
+    interprocedural and store-map layers catch what the coarse analysis
+    misses; production callers leave them on. *)
+let run ?(call_summaries = true) ?(field_sensitive = true) (t : Loader.t) =
   let acc = acc_create () in
   audit_linkage acc t;
-  List.iter (fun cb -> analyze_compartment acc t cb) t.Loader.compartments;
+  List.iter
+    (fun cb -> analyze_compartment acc ~call_summaries ~field_sensitive t cb)
+    t.Loader.compartments;
   List.rev acc.findings

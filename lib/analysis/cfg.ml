@@ -42,6 +42,26 @@ type t = {
   findings : Rules.finding list;
 }
 
+(* Direct static successors of a block, posture- and context-preserving:
+   fall-throughs, both branch arms, direct jump/call targets and call
+   continuations.  Indirect (`Jalr`) targets are not static; only the
+   call continuation is followed. *)
+let block_succs (b : block) =
+  match b.term with
+  | T_fall next -> [ next ]
+  | T_branch target -> [ target; b.term_pc + 4 ]
+  | T_jal (0, target) -> [ target ]
+  | T_jal (_, target) -> [ target; b.term_pc + 4 ]
+  | T_jalr (0, _, _) -> []
+  | T_jalr (_, _, _) -> [ b.term_pc + 4 ]
+  | T_halt | T_stop -> []
+
+(* A return: an unlinked indirect jump through the link register. *)
+let is_return (b : block) =
+  match b.term with
+  | T_jalr (0, rs1, 0) -> rs1 = Insn.reg_ra
+  | _ -> false
+
 let is_block_end (i : Insn.t) =
   match i with
   | Jal _ | Jalr _ | Branch _ | Ebreak | Ecall | Mret -> true

@@ -14,17 +14,22 @@ module Sram = Cheriot_mem.Sram
 open Cheriot_isa
 module Loader = Cheriot_rtos.Loader
 module Compartment = Cheriot_rtos.Compartment
+module Switcher_asm = Cheriot_rtos.Switcher_asm
 
 let enabled = Compartment.Interrupts_enabled
 
 let export l = { Compartment.exp_label = l; exp_posture = enabled }
 
-(* single-compartment harness for the cfg-* and flow-* rules *)
-let victim code =
+let export_p p l = { Compartment.exp_label = l; exp_posture = p }
+
+(* single-compartment harness for the cfg-*, flow-*, irq-* and tmp-*
+   rules *)
+let victim_exports exports code =
   Loader.link
-    [ Compartment.v ~name:"victim" ~globals_size:64 ~exports:[ export "main" ]
-        code ]
+    [ Compartment.v ~name:"victim" ~globals_size:64 ~exports code ]
     ~boot:("victim", "main")
+
+let victim code = victim_exports [ export "main" ] code
 
 (* two-compartment harness for the link-* rules: "app" calls "lib.double"
    through import slot 8 and the switcher sentry in slot 0 *)
@@ -153,6 +158,89 @@ let entries =
             Asm.I (Insn.Auipcc (Insn.reg_t0, 0));
             sw Insn.reg_a0 Insn.reg_t0 0;
             Asm.I Insn.Ebreak ]);
+    (* --- interprocedural / field-sensitive flow --------------------------- *)
+    e "helper-call-oob" Rules.flow_oob_access (fun () ->
+        (* the out-of-bounds capability is built by a helper function;
+           only the call-summary analysis still knows its bounds at the
+           caller's load (a clobbering analysis provably misses this —
+           regression-tested) *)
+        victim
+          [ Asm.Label "main";
+            Asm.Call "mkcap";
+            lw Insn.reg_a1 Insn.reg_a0 16;
+            Asm.I Insn.Ebreak;
+            Asm.Label "mkcap";
+            Asm.I (Insn.Cincaddrimm (Insn.reg_a0, Insn.reg_gp, 0));
+            Asm.I (Insn.Csetboundsimm (Insn.reg_a0, Insn.reg_a0, 16));
+            Asm.Ret ]);
+    e "launder-local-via-slot" Rules.flow_launder_local (fun () ->
+        (* sp is parked in a global slot through a forged SL-bearing
+           window, reloaded, and re-stored through the SL-lacking cgp;
+           only the field-sensitive store map keeps the slot's must-tag
+           evidence across the two stores *)
+        let t =
+          victim
+            [ Asm.Label "main";
+              Asm.I (Insn.Clc (Insn.reg_t0, Insn.reg_gp, 24));
+              Asm.I (Insn.Csc (Insn.reg_sp, Insn.reg_t0, 32));
+              Asm.I (Insn.Clc (Insn.reg_t1, Insn.reg_gp, 32));
+              Asm.I (Insn.Csc (Insn.reg_t1, Insn.reg_gp, 40));
+              Asm.I Insn.Ebreak ]
+        in
+        let g = (Loader.find t "victim").Loader.globals_base in
+        write_cap t (g + 24) (mem_window ~sl:true g 64);
+        t);
+    (* --- irq-* ------------------------------------------------------------ *)
+    e "irq-spin-disabled" Rules.irq_unbounded_disabled (fun () ->
+        victim_exports
+          [ export_p Compartment.Interrupts_disabled "main" ]
+          [ Asm.Label "main"; Asm.I (Insn.Jal (0, 0)) ]);
+    e "irq-long-disabled" Rules.irq_over_budget (fun () ->
+        victim_exports
+          [ export_p Compartment.Interrupts_disabled "main" ]
+          (Asm.Label "main"
+           :: List.init 68 (fun _ ->
+                  Asm.I (Insn.Op_imm (Insn.Add, Insn.reg_t0, Insn.reg_t0, 1)))
+          @ [ Asm.I Insn.Ebreak ]));
+    e "irq-posture-reentry" Rules.irq_inconsistent_reentry (fun () ->
+        (* a direct goto from the interrupts-enabled entry into the
+           interrupts-disabled one: the declared posture does not hold on
+           internal re-entry *)
+        victim_exports
+          [ export "main"; export_p Compartment.Interrupts_disabled "crit" ]
+          [ Asm.Label "main"; Asm.J (0, "crit");
+            Asm.Label "crit"; Asm.I Insn.Ebreak ]);
+    (* --- tmp-* ------------------------------------------------------------ *)
+    e "heap-cap-escape" Rules.tmp_heap_escape (fun () ->
+        (* a heap capability loaded from a slot, stripped of GL and
+           parked in another global slot: the revoker can no longer see
+           that the allocation is referenced *)
+        let drop_gl =
+          Perm.Set.to_arch_bits
+            (Perm.Set.remove Perm.GL (Perm.Set.of_list Perm.all))
+        in
+        let t =
+          victim
+            [ Asm.Label "main";
+              Asm.I (Insn.Clc (Insn.reg_t0, Insn.reg_gp, 16));
+              Asm.Li (Insn.reg_t1, drop_gl);
+              Asm.I (Insn.Candperm (Insn.reg_t0, Insn.reg_t0, Insn.reg_t1));
+              Asm.I (Insn.Csc (Insn.reg_t0, Insn.reg_gp, 24));
+              Asm.I Insn.Ebreak ]
+        in
+        let g = (Loader.find t "victim").Loader.globals_base in
+        write_cap t (g + 16) (Loader.heap_cap t);
+        t);
+    e "import-into-heap" Rules.tmp_import_dangling (fun () ->
+        (* the import slot is sealed with the right otype but its range
+           lies in the revocable heap: a dangling cross-call target *)
+        let t = pair () in
+        write_cap t
+          (import_slot_addr t "app" 8)
+          (seal
+             (mem_window t.Loader.heap_base 16)
+             ~otype:Switcher_asm.export_otype);
+        t);
     (* --- link-* ---------------------------------------------------------- *)
     e "import-unsealed" Rules.link_import_unsealed (fun () ->
         let t = pair () in

@@ -1,0 +1,130 @@
+(* Reusable auditor driver: the logic behind `cheriot_audit`, factored
+   out of the binary so the exit-code contract and report determinism
+   are unit-testable.
+
+   Exit-code contract (tested in test_audit):
+     0  clean (no findings; corpus detected exactly)
+     1  findings on shipped images, or a corpus exactness failure
+     2  analysis error, unknown image name, or unknown rule id
+
+   Findings are sorted by (compartment, pc, rule id) before JSON
+   emission, so reports are byte-stable across runs and refactors of
+   emission order. *)
+
+module Loader = Cheriot_rtos.Loader
+
+type images = (string * (unit -> Loader.t)) list
+
+let known_rule rule = List.mem_assoc rule Rules.catalogue
+
+let filter_rule rule fs =
+  match rule with
+  | None -> fs
+  | Some r -> List.filter (fun (f : Rules.finding) -> f.Rules.rule = r) fs
+
+(* [shipped ~images ?name ?rule ()] audits the shipped catalogue (or the
+   single image [name]), prints the JSON report, and returns the exit
+   code. *)
+let shipped ~(images : images) ?name ?rule () =
+  let selected =
+    match name with
+    | None -> Ok images
+    | Some n -> (
+        match List.assoc_opt n images with
+        | Some build -> Ok [ (n, build) ]
+        | None -> Error (Printf.sprintf "unknown image %S" n))
+  in
+  match (selected, rule) with
+  | Error e, _ ->
+      Printf.eprintf "shipped: %s\n%!" e;
+      2
+  | _, Some r when not (known_rule r) ->
+      Printf.eprintf "shipped: unknown rule %S\n%!" r;
+      2
+  | Ok imgs, _ -> (
+      match
+        List.map
+          (fun (n, build) ->
+            (n, filter_rule rule (Rules.sort_findings (Audit.run (build ())))))
+          imgs
+      with
+      | report ->
+          print_endline (Rules.report_to_json report);
+          let total =
+            List.fold_left (fun a (_, fs) -> a + List.length fs) 0 report
+          in
+          if total = 0 then begin
+            Printf.eprintf "shipped: %d images clean\n%!" (List.length report);
+            0
+          end
+          else begin
+            Printf.eprintf "shipped: %d findings on shipped images\n%!" total;
+            1
+          end
+      | exception e ->
+          Printf.eprintf "shipped: analysis error: %s\n%!"
+            (Printexc.to_string e);
+          2)
+
+(* [corpus ?rule ()] checks every corpus image (or only those expecting
+   [rule]) trips exactly its expected rule. *)
+let corpus ?rule () =
+  match rule with
+  | Some r when not (known_rule r) ->
+      Printf.eprintf "corpus: unknown rule %S\n%!" r;
+      2
+  | _ -> (
+      let entries =
+        match rule with
+        | None -> Corpus.entries
+        | Some r ->
+            List.filter (fun (e : Corpus.entry) -> e.Corpus.rule = r)
+              Corpus.entries
+      in
+      let check failures (e : Corpus.entry) =
+        let findings = Audit.run (e.Corpus.build ()) in
+        let hit =
+          List.exists (fun (f : Rules.finding) -> f.Rules.rule = e.Corpus.rule)
+            findings
+        in
+        let spurious =
+          List.filter (fun (f : Rules.finding) -> f.Rules.rule <> e.Corpus.rule)
+            findings
+        in
+        if hit && spurious = [] then begin
+          Printf.eprintf "corpus: PASS %-26s -> %s\n%!" e.Corpus.name
+            e.Corpus.rule;
+          failures
+        end
+        else begin
+          Printf.eprintf "corpus: FAIL %-26s expected %s\n%!" e.Corpus.name
+            e.Corpus.rule;
+          if not hit then Printf.eprintf "         missed (false negative)\n%!";
+          List.iter
+            (fun f ->
+              Printf.eprintf "         spurious: %s\n%!"
+                (Format.asprintf "%a" Rules.pp_finding f))
+            spurious;
+          failures + 1
+        end
+      in
+      match List.fold_left check 0 entries with
+      | 0 ->
+          Printf.eprintf "corpus: %d/%d images detected exactly\n%!"
+            (List.length entries) (List.length entries);
+          0
+      | _ -> 1
+      | exception e ->
+          Printf.eprintf "corpus: analysis error: %s\n%!"
+            (Printexc.to_string e);
+          2)
+
+(* [all]: shipped + corpus; the worst exit code wins. *)
+let all ~images ?rule () =
+  let a = shipped ~images ?rule () in
+  let b = corpus ?rule () in
+  max a b
+
+let rules () =
+  List.iter (fun (id, doc) -> Printf.printf "%-26s %s\n" id doc) Rules.catalogue;
+  0

@@ -5,6 +5,8 @@
 
      cfg-*    control-flow recovery over a compartment's code region
      flow-*   the abstract capability-flow interpretation (fixpoint)
+     irq-*    interrupt-posture analysis over the CFG and export sentries
+     tmp-*    temporal safety (heap revocation / dangling ranges)
      link-*   structural checks on the linked image (descriptors,
               imports, reserved otypes, boot register file)
 
@@ -30,6 +32,12 @@ let flow_jump_not_executable = "flow-jump-not-executable"
 let flow_widening_derivation = "flow-widening-derivation"
 let flow_untagged_deref = "flow-untagged-deref"
 let flow_missing_perm = "flow-missing-perm"
+let flow_launder_local = "flow-launder-local"
+let irq_unbounded_disabled = "irq-unbounded-disabled"
+let irq_over_budget = "irq-over-budget"
+let irq_inconsistent_reentry = "irq-inconsistent-reentry"
+let tmp_heap_escape = "tmp-heap-escape"
+let tmp_import_dangling = "tmp-import-dangling"
 let link_import_unsealed = "link-import-unsealed"
 let link_import_wrong_otype = "link-import-wrong-otype"
 let link_import_slot_range = "link-import-slot-range"
@@ -59,6 +67,20 @@ let catalogue =
        capability" );
     (flow_untagged_deref, "dereference of a provably untagged or sealed capability");
     (flow_missing_perm, "access through a capability provably lacking the permission");
+    ( flow_launder_local,
+      "memory-laundered local capability re-stored through an SL-lacking \
+       authority" );
+    ( irq_unbounded_disabled,
+      "interrupts-disabled region contains a cycle: unbounded IRQ latency" );
+    ( irq_over_budget,
+      "interrupts-disabled instruction path exceeds the latency budget" );
+    ( irq_inconsistent_reentry,
+      "export entry reachable internally with the opposite interrupt posture" );
+    ( tmp_heap_escape,
+      "heap-derived capability stripped of GL stored to globals, escaping \
+       revocation" );
+    ( tmp_import_dangling,
+      "import slot's range lies in the revocable heap region" );
     (link_import_unsealed, "import slot holds an untagged or unsealed capability");
     ( link_import_wrong_otype,
       "import sealed with an otype other than the switcher's export otype" );
@@ -77,6 +99,15 @@ let catalogue =
   ]
 
 let v ?pc ~compartment rule detail = { rule; compartment; pc; detail }
+
+(* Deterministic report order: (compartment, pc, rule id, detail).
+   [None] pcs (structural findings) sort before code-level ones. *)
+let compare_finding a b =
+  compare
+    (a.compartment, a.pc, a.rule, a.detail)
+    (b.compartment, b.pc, b.rule, b.detail)
+
+let sort_findings fs = List.sort compare_finding fs
 
 let pp_finding ppf f =
   match f.pc with

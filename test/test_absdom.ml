@@ -1,0 +1,161 @@
+(* Property tests for the auditor's abstract domain (lib/analysis/absdom).
+
+   The soundness of every flow-* finding rests on {!Absdom} being a
+   join-semilattice with a terminating widening: joins must be
+   commutative/associative/idempotent upper bounds (so the fixpoint is
+   order-independent), widening must sit above the join (so it only
+   loses precision, never soundness), and every ascending chain pushed
+   through the auditor's 8-join-budget policy must stabilize (so the
+   fixpoint terminates). *)
+
+open Cheriot_core
+module A = Cheriot_analysis.Absdom
+
+(* --- generators ---------------------------------------------------------- *)
+
+let iv_gen =
+  let open QCheck.Gen in
+  let point =
+    oneof
+      [
+        oneofl [ 0; 1; 8; 64; 512; 0x10000; A.Iv.limit - 1; A.Iv.limit ];
+        int_bound A.Iv.limit;
+      ]
+  in
+  frequency
+    [
+      (1, map A.Iv.exact point);
+      (3, map2 (fun a b -> A.Iv.v (min a b) (max a b)) point point);
+    ]
+
+let perms_gen =
+  QCheck.Gen.map
+    (fun bits -> Perm.Set.of_arch_bits (bits land 0xFFF))
+    (QCheck.Gen.int_bound 0xFFF)
+
+let tri_gen = QCheck.Gen.oneofl [ A.Tri.True; A.Tri.False; A.Tri.Any ]
+
+let ot_gen =
+  QCheck.Gen.oneofl
+    [
+      A.Ot_any;
+      A.Ot_exact Otype.unsealed;
+      A.Ot_exact (Otype.v Otype.Data 1);
+      A.Ot_exact (Otype.v Otype.Data 5);
+      A.Ot_exact (Otype.v Otype.Exec 2);
+    ]
+
+let v_gen =
+  let open QCheck.Gen in
+  tri_gen >>= fun tag ->
+  ot_gen >>= fun ot ->
+  perms_gen >>= fun p1 ->
+  perms_gen >>= fun p2 ->
+  iv_gen >>= fun base ->
+  iv_gen >>= fun top ->
+  iv_gen >>= fun addr ->
+  bool >>= fun from_load ->
+  (* maintain the representation invariant pmust ⊆ pmay *)
+  return
+    {
+      A.tag;
+      ot;
+      pmust = Perm.Set.inter p1 p2;
+      pmay = Perm.Set.union p1 p2;
+      base;
+      top;
+      addr;
+      from_load;
+    }
+
+let pp_v (v : A.v) =
+  Printf.sprintf "{tag=%s; base=[%d,%d]; top=[%d,%d]; addr=[%d,%d]; load=%b}"
+    (match v.A.tag with
+    | A.Tri.True -> "T"
+    | A.Tri.False -> "F"
+    | A.Tri.Any -> "?")
+    v.A.base.A.Iv.lo v.A.base.A.Iv.hi v.A.top.A.Iv.lo v.A.top.A.Iv.hi
+    v.A.addr.A.Iv.lo v.A.addr.A.Iv.hi v.A.from_load
+
+let arb_v = QCheck.make ~print:pp_v v_gen
+let arb_vv = QCheck.pair arb_v arb_v
+let arb_vvv = QCheck.triple arb_v arb_v arb_v
+
+(* --- lattice laws --------------------------------------------------------- *)
+
+let t_commutative =
+  QCheck.Test.make ~name:"join commutative" ~count:1000 arb_vv (fun (a, b) ->
+      A.equal (A.join a b) (A.join b a))
+
+let t_associative =
+  QCheck.Test.make ~name:"join associative" ~count:1000 arb_vvv
+    (fun (a, b, c) -> A.equal (A.join a (A.join b c)) (A.join (A.join a b) c))
+
+let t_idempotent =
+  QCheck.Test.make ~name:"join idempotent" ~count:1000 arb_v (fun a ->
+      A.equal (A.join a a) a)
+
+let t_upper_bound =
+  QCheck.Test.make ~name:"join is an upper bound" ~count:1000 arb_vv
+    (fun (a, b) ->
+      let j = A.join a b in
+      A.leq a j && A.leq b j)
+
+let t_widen_above_join =
+  QCheck.Test.make ~name:"widen sits above join" ~count:1000 arb_vv
+    (fun (a, b) -> A.leq (A.join a b) (A.widen a b))
+
+let t_top_absorbs =
+  QCheck.Test.make ~name:"top absorbs" ~count:1000 arb_v (fun a ->
+      A.equal (A.join a A.top_v) A.top_v && A.leq a A.top_v)
+
+let t_join_invariant =
+  QCheck.Test.make ~name:"join preserves pmust ⊆ pmay" ~count:1000 arb_vv
+    (fun (a, b) ->
+      let j = A.join a b in
+      Perm.Set.subset j.A.pmust j.A.pmay)
+
+(* --- widening termination -------------------------------------------------- *)
+
+(* Simulate exactly the fixpoint's per-block policy: plain joins for the
+   first 8 visits, widened joins afterwards.  The chain must be monotone
+   and stabilize: at most 8 pre-widen changes, then each change grows a
+   finite component (tag ≤ 2, ot ≤ 1, perms ≤ 24, from_load ≤ 1) or
+   widens an interval straight to full (≤ 1 each) — 40 covers it. *)
+let t_widening_terminates =
+  QCheck.Test.make ~name:"ascending chains stabilize under the 8-join budget"
+    ~count:200
+    (QCheck.make QCheck.Gen.(list_size (return 100) v_gen))
+    (fun vs ->
+      match vs with
+      | [] -> true
+      | first :: rest ->
+          let state = ref first in
+          let visits = ref 0 in
+          let changes = ref 0 in
+          let monotone = ref true in
+          List.iter
+            (fun y ->
+              incr visits;
+              let next =
+                if !visits > 8 then A.widen !state (A.join !state y)
+                else A.join !state y
+              in
+              if not (A.leq !state next) then monotone := false;
+              if not (A.equal !state next) then incr changes;
+              state := next)
+            rest;
+          !monotone && !changes <= 40)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      t_commutative;
+      t_associative;
+      t_idempotent;
+      t_upper_bound;
+      t_widen_above_join;
+      t_top_absorbs;
+      t_join_invariant;
+      t_widening_terminates;
+    ]

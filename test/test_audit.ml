@@ -1,17 +1,22 @@
 (* Tests for the static firmware auditor (lib/analysis).
 
-   Three layers:
+   Layers:
      - every shipped image audits clean (zero findings);
      - every corpus image trips exactly its expected rule — no false
-       negatives, no false positives;
-     - one named negative test per headline rule (the ISSUE's satellite
-       list: leaked store-local capability, wrong-otype sealed entry,
-       out-of-bounds import, mismatched sentry posture), asserting on the
-       specific rule id so a rule rename breaks loudly. *)
+       negatives, no false positives (the corpus-exactness CI gate,
+       in-tree so `dune runtest` catches rule regressions);
+     - one named negative test per headline rule, asserting on the
+       specific rule id so a rule rename breaks loudly;
+     - regressions proving the v2 layers see what v1 provably missed:
+       the helper-call image is invisible without call summaries, the
+       laundering image invisible without the field-sensitive store map;
+     - the Driver exit-code contract (0 clean / 1 findings / 2 error)
+       and deterministic finding order. *)
 
 module Rules = Cheriot_analysis.Rules
 module Audit = Cheriot_analysis.Audit
 module Corpus = Cheriot_analysis.Corpus
+module Driver = Cheriot_analysis.Driver
 module Firmware = Cheriot_workloads.Firmware
 
 let rules_of findings =
@@ -91,6 +96,98 @@ let test_flow_finding_has_pc () =
   | Some pc -> Alcotest.(check bool) "pc in code region" true (pc >= lo && pc < hi)
   | None -> Alcotest.fail "no pc"
 
+let test_heap_escape () =
+  Alcotest.(check (list string))
+    "a GL-stripped heap capability parked in globals is flagged"
+    [ Rules.tmp_heap_escape ]
+    (corpus_rule "heap-cap-escape")
+
+let test_unbounded_disabled_region () =
+  Alcotest.(check (list string))
+    "an interrupts-disabled loop is flagged as unbounded"
+    [ Rules.irq_unbounded_disabled ]
+    (corpus_rule "irq-spin-disabled")
+
+(* --- the v2 layers catch what the v1 analysis provably missed ------------- *)
+
+let corpus_build name =
+  (List.find (fun e -> e.Corpus.name = name) Corpus.entries).Corpus.build ()
+
+let test_helper_call_needs_summaries () =
+  let t = corpus_build "helper-call-oob" in
+  Alcotest.(check (list string))
+    "without call summaries the helper-built OOB capability is invisible"
+    []
+    (rules_of (Audit.run ~call_summaries:false t));
+  Alcotest.(check (list string))
+    "with call summaries it is caught"
+    [ Rules.flow_oob_access ]
+    (rules_of (Audit.run t))
+
+let test_launder_needs_field_sensitivity () =
+  let t = corpus_build "launder-local-via-slot" in
+  Alcotest.(check (list string))
+    "without the field-sensitive store map the laundered leak is invisible"
+    []
+    (rules_of (Audit.run ~field_sensitive:false t));
+  Alcotest.(check (list string))
+    "with the store map it is caught"
+    [ Rules.flow_launder_local ]
+    (rules_of (Audit.run t))
+
+(* --- Driver: exit codes and deterministic order ---------------------------- *)
+
+let test_driver_exit_codes () =
+  Alcotest.(check int) "clean shipped catalogue exits 0" 0
+    (Driver.shipped ~images:Firmware.shipped ());
+  Alcotest.(check int) "single-image selection exits 0" 0
+    (Driver.shipped ~images:Firmware.shipped ~name:"demo" ());
+  Alcotest.(check int) "findings exit 1" 1
+    (Driver.shipped
+       ~images:[ ("bad", fun () -> corpus_build "heap-cap-escape") ]
+       ());
+  Alcotest.(check int) "unknown image exits 2" 2
+    (Driver.shipped ~images:Firmware.shipped ~name:"nonexistent" ());
+  Alcotest.(check int) "unknown rule exits 2" 2
+    (Driver.shipped ~images:Firmware.shipped ~rule:"no-such-rule" ());
+  Alcotest.(check int) "analysis error exits 2" 2
+    (Driver.shipped ~images:[ ("boom", fun () -> failwith "boom") ] ());
+  Alcotest.(check int) "corpus detected exactly exits 0" 0 (Driver.corpus ());
+  Alcotest.(check int) "corpus with unknown rule exits 2" 2
+    (Driver.corpus ~rule:"no-such-rule" ())
+
+let test_sorted_findings () =
+  let f rule compartment pc = Rules.v ?pc ~compartment rule "d" in
+  let shuffled =
+    [
+      f "b-rule" "zeta" (Some 8);
+      f "a-rule" "zeta" (Some 8);
+      f "z-rule" "alpha" (Some 100);
+      f "m-rule" "alpha" None;
+      f "a-rule" "zeta" (Some 4);
+    ]
+  in
+  let sorted = Rules.sort_findings shuffled in
+  let key (x : Rules.finding) = (x.Rules.compartment, x.Rules.pc, x.Rules.rule) in
+  Alcotest.(check (list (triple string (option int) string)))
+    "sorted by (compartment, pc, rule); None pc first"
+    [
+      ("alpha", None, "m-rule");
+      ("alpha", Some 100, "z-rule");
+      ("zeta", Some 4, "a-rule");
+      ("zeta", Some 8, "a-rule");
+      ("zeta", Some 8, "b-rule");
+    ]
+    (List.map key sorted);
+  (* sorting is stable under re-audit: two runs of the same image agree *)
+  let t () = corpus_build "helper-call-oob" in
+  let a = Rules.sort_findings (Audit.run (t ())) in
+  let b = Rules.sort_findings (Audit.run (t ())) in
+  Alcotest.(check (list string))
+    "same image, same report"
+    (List.map (Format.asprintf "%a" Rules.pp_finding) a)
+    (List.map (Format.asprintf "%a" Rules.pp_finding) b)
+
 let contains ~sub s =
   let n = String.length sub and m = String.length s in
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
@@ -130,6 +227,16 @@ let suite =
           test_out_of_bounds_import;
         Alcotest.test_case "mismatched sentry posture" `Quick
           test_mismatched_posture;
+        Alcotest.test_case "heap capability escape" `Quick test_heap_escape;
+        Alcotest.test_case "unbounded interrupts-disabled region" `Quick
+          test_unbounded_disabled_region;
+        Alcotest.test_case "helper-call OOB needs call summaries" `Quick
+          test_helper_call_needs_summaries;
+        Alcotest.test_case "laundered leak needs field sensitivity" `Quick
+          test_launder_needs_field_sensitivity;
+        Alcotest.test_case "driver exit codes" `Quick test_driver_exit_codes;
+        Alcotest.test_case "findings sort deterministically" `Quick
+          test_sorted_findings;
         Alcotest.test_case "flow findings carry a pc" `Quick
           test_flow_finding_has_pc;
         Alcotest.test_case "json report is well-formed" `Quick

@@ -19,5 +19,6 @@ let () =
       ("integration", Test_integration.suite);
       ("area", Test_area.suite);
       ("workloads", Test_workloads.suite);
+      ("absdom", Test_absdom.suite);
       ("audit", Test_audit.suite);
     ]
