@@ -12,7 +12,7 @@
 # benches write BENCH_*_smoke.json; they are divergence gates, not
 # performance claims — use `make bench` for real numbers.
 
-.PHONY: all build lint test parity audit bench bench-smoke ci clean
+.PHONY: all build lint test parity prop-long audit bench bench-smoke ci clean
 
 all: build
 
@@ -35,11 +35,23 @@ audit: build
 	dune exec bin/cheriot_audit.exe -- all
 
 # Dispatch parity: every dispatch path (ref / cached / block / chain)
-# must be observationally identical on random streams, under interrupt
-# injection, and on coremark.  Alcotest prints the failing qcheck seed
-# and the shrunk instruction stream on a mismatch.
+# must be observationally identical on random streams, on generated
+# multi-compartment scenarios (switcher cross-calls, allocator churn,
+# revocation sweeps, code patches), under interrupt injection, and on
+# coremark.  Alcotest prints the failing qcheck seed and the shrunk
+# program listing on a mismatch.
 parity: build
 	dune exec test/test_cheriot.exe -- test differential
+	dune exec test/test_cheriot.exe -- test proptest
+
+# The same property family with 20x the iteration counts (PROP_ITERS
+# multiplies every qcheck ~count in lib/proptest and the harness-scaled
+# unit suites).  Not part of `make ci`; run before cutting a release or
+# after touching the dispatch paths.
+prop-long: build
+	PROP_ITERS=20 dune exec test/test_cheriot.exe -- test proptest
+	PROP_ITERS=20 dune exec test/test_cheriot.exe -- test differential
+	PROP_ITERS=20 dune exec test/test_cheriot.exe -- test fuzz
 
 bench: build
 	dune exec bench/main.exe -- decode_cache

@@ -1,0 +1,96 @@
+(** Generators for flat (single-region) random instruction streams.
+
+    A generator biased toward well-formed capability/memory/ALU
+    instructions so runs get past the first step, plus raw random words
+    for decoder robustness.  The [smc] variant mixes in stores through
+    the c4 code-window capability granted by
+    [Boot.flat ~writable_code:true] — self-modifying streams whose
+    patches go through the bus, driving the store snoop, block
+    invalidation and chain unlinking on every dispatch path. *)
+
+open Cheriot_isa
+
+let stream_len = 64
+
+let gen_word ?(smc = false) () : int QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = int_bound 15 in
+  let insn =
+    oneof
+      [
+        (let* a = reg and* b = reg and* c = reg in
+         oneofl
+           Insn.
+             [
+               Cincaddr (a, b, c);
+               Csetaddr (a, b, c);
+               Csetbounds (a, b, c);
+               Candperm (a, b, c);
+               Cseal (a, b, c);
+               Cunseal (a, b, c);
+               Csub (a, b, c);
+               Ctestsubset (a, b, c);
+               Op (Add, a, b, c);
+               Op (Xor, a, b, c);
+             ]);
+        (let* a = reg and* b = reg and* i = int_bound 255 in
+         oneofl
+           Insn.
+             [
+               Cincaddrimm (a, b, i * 8);
+               Csetboundsimm (a, b, i);
+               Op_imm (Add, a, b, i);
+               Clc (a, b, (i land 63) * 8);
+               Csc (a, b, (i land 63) * 8);
+               Load { signed = true; width = W; rd = a; rs1 = b; off = i * 4 };
+               Store { width = W; rs2 = a; rs1 = b; off = i * 4 };
+               Cmove (a, b);
+               Ccleartag (a, b);
+               Cget (Base, a, b);
+               Cget (Perm, a, b);
+             ]);
+      ]
+  in
+  let self_patch =
+    (* a store through the code window: patches the word [i] slots ahead
+       of the stream start — often inside an already-translated block *)
+    let* a = reg and* i = int_bound (stream_len - 1) in
+    return (Insn.Store { width = W; rs2 = a; rs1 = 4; off = i * 4 })
+  in
+  let cases =
+    [ (8, map Encode.encode insn); (2, map (fun w -> w land 0xFFFFFFFF) int) ]
+  in
+  let cases =
+    if smc then (3, map Encode.encode self_patch) :: cases else cases
+  in
+  frequency cases
+
+let gen_program = QCheck.Gen.(list_size (return stream_len) (gen_word ()))
+
+let gen_program_smc =
+  QCheck.Gen.(list_size (return stream_len) (gen_word ~smc:true ()))
+
+let arb_program gen = QCheck.make ~print:Boot.print_words gen
+
+(* --- regions for the bounds-codec properties ----------------------------- *)
+
+(** Regions biased toward the E'4/B'9/T'9 codec's interesting sizes:
+    small, around 511, around power-of-two boundaries, and huge. *)
+let gen_region =
+  let open QCheck.Gen in
+  let size =
+    oneof
+      [
+        int_bound 511;
+        map (fun n -> 512 + n) (int_bound 4096);
+        oneofl [ 0; 1; 511; 512; 1 lsl 12; (1 lsl 12) + 1; 1 lsl 20; 1 lsl 24 ];
+        int_bound ((1 lsl 28) - 1);
+      ]
+  in
+  let addr = oneof [ int_bound 0xFFFF; int_bound 0xFFFF_FFFF ] in
+  pair addr size
+
+let arb_region =
+  QCheck.make
+    ~print:(fun (b, l) -> Printf.sprintf "base=0x%x len=0x%x" b l)
+    gen_region

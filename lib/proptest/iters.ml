@@ -1,0 +1,21 @@
+(** The iteration-count knob shared by every property in the harness.
+
+    [PROP_ITERS] is a global multiplier on the per-property default
+    counts: unset (or [1]) is the small CI budget used by `make ci`;
+    `make prop-long` exports a large value for nightly-style deep runs.
+    A multiplier — rather than an absolute count — keeps the relative
+    weighting of cheap and expensive properties intact at every depth. *)
+
+let factor =
+  match Sys.getenv_opt "PROP_ITERS" with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ ->
+          Printf.eprintf "PROP_ITERS=%s is not a positive integer; using 1\n" s;
+          1)
+
+(** [count ~default] is the qcheck [~count] for a property whose CI
+    budget is [default] cases. *)
+let count ~default = default * factor

@@ -1,0 +1,664 @@
+(** The observational-equivalence property family (DESIGN.md §12).
+
+    One generator of programs — flat random instruction streams
+    ({!Flatgen}) and well-formed multi-compartment scenarios
+    ({!Scenario}) — and one family of properties over it:
+
+    + {b state-trace equivalence} of all four dispatch modes
+      (ref / cached / block / chain), per retired instruction and under
+      interrupt injection, with a tiny [hot_threshold] so superblock
+      formation and side exits are constantly crossed;
+    + {b cycle-model agreement}: the {!Perf} harness charges identical
+      cycles and instructions on every dispatch variant, on both core
+      models (Ibex and Flute);
+    + {b authority monotonicity}: no scenario execution amplifies the
+      boot-time capability envelope (the paper-2.5 invariant,
+      generalized from the flat fuzz boot to linked images);
+    + {b codec/engine invariants}: the E'4/B'9/T'9 bounds round-trip
+      properties (in [test_bounds], over {!Flatgen.gen_region}) and
+      [Revoker.tick_n] ≡ tick-loop equivalence under random grant and
+      snoop schedules;
+    + {b auditor precision}: every generated {e clean} scenario audits
+      with zero findings — the zero-false-positive claim pinned under
+      generated, not hand-written, inputs.
+
+    Every property prints, on failure, the qcheck seed plus the shrunk
+    program (disassembly listing and reference trace), so a failure
+    reproduces in one command. *)
+
+open Cheriot_core
+open Cheriot_isa
+module Sram = Cheriot_mem.Sram
+module Bus = Cheriot_mem.Bus
+module Revbits = Cheriot_mem.Revbits
+module Core_model = Cheriot_uarch.Core_model
+module Perf = Cheriot_uarch.Perf
+module Revoker = Cheriot_uarch.Revoker
+module Loader = Cheriot_rtos.Loader
+module Allocator = Cheriot_rtos.Allocator
+module Audit = Cheriot_analysis.Audit
+module Rules = Cheriot_analysis.Rules
+
+(* A small deterministic LCG over a generated seed: the shrinker can
+   minimise interesting injection schedules along with the program. *)
+let lcg seed =
+  let state = ref seed in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFF_FFFF;
+    !state mod bound
+
+(* --- flat-stream lockstep (the PR-1..3 oracle, now harness-owned) -------- *)
+
+(** Drive the same stream on four identically-booted machines in
+    lockstep — one per dispatch path, block/chain with [fuel:1] so every
+    mid-block state is exposed — comparing the full architectural state
+    after every single step and the state hashes at the end. *)
+let flat_lockstep ?(writable_code = false) words =
+  let mk () = (Boot.flat ~writable_code words).Boot.m in
+  let ref_m = mk () and fast_m = mk () and blk_m = mk () and chn_m = mk () in
+  (* a tiny hotness threshold makes superblock formation reachable
+     within short fuzz streams *)
+  chn_m.Machine.hot_threshold <- 2;
+  let rec go n =
+    if n > 256 then ()
+    else begin
+      let r_ref = Machine.step ref_m in
+      let r_fast = Machine.step_fast fast_m in
+      (* [run ~fuel:1] executes exactly one instruction (or interrupt /
+         idle round) of the block path; when fuel expires after a trap
+         step it reports [Step_ok], exactly as the per-step [run] loop
+         would, so map the reference result accordingly. *)
+      let r_blk, n_blk =
+        Machine.run ~fuel:1 ~dispatch:Machine.Dispatch_block blk_m
+      in
+      let r_chn, n_chn =
+        Machine.run ~fuel:1 ~dispatch:Machine.Dispatch_chain chn_m
+      in
+      if r_ref <> r_fast then
+        QCheck.Test.fail_reportf "ref/cached results diverged at step %d" n;
+      let expect_blk =
+        match r_ref with
+        | Machine.Step_ok | Machine.Step_trap _ -> Machine.Step_ok
+        | r -> r
+      in
+      if (r_blk, n_blk) <> (expect_blk, 1) then
+        QCheck.Test.fail_reportf "ref/block results diverged at step %d" n;
+      if (r_chn, n_chn) <> (expect_blk, 1) then
+        QCheck.Test.fail_reportf "ref/chain results diverged at step %d" n;
+      Obs.compare_states ~what:"ref/cached" n ref_m fast_m;
+      Obs.compare_states ~what:"ref/block" n ref_m blk_m;
+      Obs.compare_states ~what:"ref/chain" n ref_m chn_m;
+      match r_ref with
+      | Machine.Step_ok | Machine.Step_trap _ -> go (n + 1)
+      | Machine.Step_waiting | Machine.Step_halted | Machine.Step_double_fault
+        ->
+          ()
+    end
+  in
+  go 0;
+  Obs.require_hashes_equal ~what:"flat lockstep" 256 ref_m
+    [ fast_m; blk_m; chn_m ];
+  true
+
+(** Interrupt-injection equivalence (the heart of the block-dispatch
+    soundness argument): drive the four paths in random-length fuel
+    batches, toggling the external interrupt line and rewriting the
+    timer comparator / cycle counter identically on all four between
+    batches.  Batched block execution checks for interrupts only at
+    block boundaries; that must deliver every interrupt at exactly the
+    same retired-instruction boundary as the per-step loops. *)
+let flat_interrupt_lockstep ?(writable_code = false) (words, seed) =
+  let handler_cap =
+    Capability.set_bounds
+      (Capability.with_address Capability.root_executable Boot.code_base)
+      ~length:Boot.code_size ~exact:false
+  in
+  let mk () =
+    let m = (Boot.flat ~writable_code words).Boot.m in
+    (* vector traps back into the program text so interrupts take the
+       real trap-entry path instead of double-faulting *)
+    m.Machine.mtcc <- handler_cap;
+    m.Machine.mie <- true;
+    m
+  in
+  let ref_m = mk () and fast_m = mk () and blk_m = mk () and chn_m = mk () in
+  (* chain with a tiny hotness threshold: batches cross the superblock
+     formation point mid-stream, so interrupt delivery is checked
+     against freshly re-translated superblocks too *)
+  chn_m.Machine.hot_threshold <- 2;
+  let machines = [ ref_m; fast_m; blk_m; chn_m ] in
+  let rand = lcg seed in
+  let total = ref 0 in
+  (try
+     while !total < 256 do
+       let fuel = 1 + rand 32 in
+       let toggle = rand 4 = 0 in
+       let retime = rand 4 = 0 in
+       let cmp = rand 8 and cyc = rand 8 in
+       List.iter
+         (fun (m : Machine.t) ->
+           if toggle then m.Machine.ext_interrupt <- not m.Machine.ext_interrupt;
+           if retime then begin
+             m.Machine.mtimecmp <- cmp;
+             m.Machine.mcycle <- cyc
+           end)
+         machines;
+       let r_ref, n_ref =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_ref ref_m
+       in
+       let r_fast, n_fast =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_cached fast_m
+       in
+       let r_blk, n_blk =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_block blk_m
+       in
+       let r_chn, n_chn =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_chain chn_m
+       in
+       if (r_ref, n_ref) <> (r_fast, n_fast) then
+         QCheck.Test.fail_reportf
+           "ref/cached batch diverged after %d insns (fuel %d)" !total fuel;
+       if (r_ref, n_ref) <> (r_blk, n_blk) then
+         QCheck.Test.fail_reportf
+           "ref/block batch diverged after %d insns (fuel %d): ref retired \
+            %d, block retired %d"
+           !total fuel n_ref n_blk;
+       if (r_ref, n_ref) <> (r_chn, n_chn) then
+         QCheck.Test.fail_reportf
+           "ref/chain batch diverged after %d insns (fuel %d): ref retired \
+            %d, chain retired %d"
+           !total fuel n_ref n_chn;
+       Obs.compare_states ~what:"interrupt batch" !total ref_m fast_m;
+       Obs.compare_states ~what:"interrupt batch" !total ref_m blk_m;
+       Obs.compare_states ~what:"interrupt batch" !total ref_m chn_m;
+       Obs.require_hashes_equal ~what:"interrupt batch" !total ref_m
+         [ fast_m; blk_m; chn_m ];
+       total := !total + n_ref;
+       match r_ref with
+       | Machine.Step_halted | Machine.Step_double_fault -> raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  true
+
+(* --- flat authority monotonicity ----------------------------------------- *)
+
+(** Paper 2.5 on the flat boot: execute the stream on the reference
+    interpreter and assert after every step that every tagged capability
+    anywhere still lies within the initial authority. *)
+let flat_authority ?(writable_code = false) words =
+  let f = Boot.flat ~writable_code words in
+  let m = f.Boot.m in
+  let srams = Boot.flat_srams f in
+  let within = Boot.flat_within_authority ~writable_code in
+  let rec go n =
+    if n > 256 then true
+    else
+      match Machine.step m with
+      | Machine.Step_ok -> (
+          match Boot.authority_violations ~within m srams with
+          | [] -> go (n + 1)
+          | bad ->
+              QCheck.Test.fail_reportf "authority amplified at step %d: %s" n
+                (String.concat "," bad))
+      | Machine.Step_trap _ | Machine.Step_waiting | Machine.Step_halted
+      | Machine.Step_double_fault ->
+          Boot.authority_violations ~within m srams = []
+  in
+  go 0
+
+(* --- scenario lockstep ---------------------------------------------------- *)
+
+let scenario_fuel = 4096
+let scenario_batches = 96
+
+(** One injection round, applied identically to every machine in the
+    lockstep group: interrupt-line and timer writes on the machine, and
+    allocator churn / revocation sweeps / host ("DMA") code patches on
+    the image. *)
+let inject rand (links : Scenario.linked list) =
+  let ms = List.map (fun l -> l.Scenario.t.Loader.machine) links in
+  (* external interrupt: raise rarely, lower quickly — the ISR cannot
+     ack the line, so a high line re-fires on every Mret *)
+  (match ms with
+  | m0 :: _ ->
+      if m0.Machine.ext_interrupt then begin
+        if rand 4 < 3 then
+          List.iter (fun m -> m.Machine.ext_interrupt <- false) ms
+      end
+      else if rand 4 = 0 then
+        List.iter (fun m -> m.Machine.ext_interrupt <- true) ms
+  | [] -> ());
+  if rand 4 = 0 then begin
+    let cmp = rand 8 and cyc = rand 8 in
+    List.iter
+      (fun (m : Machine.t) ->
+        m.Machine.mtimecmp <- cmp;
+        m.Machine.mcycle <- cyc)
+      ms
+  end;
+  (* allocator churn: malloc / free / revoke, same call on every image *)
+  if rand 8 = 0 then begin
+    let size = 8 + (8 * rand 4) in
+    List.iter
+      (fun l ->
+        match l.Scenario.alloc with
+        | Some a -> (
+            match Allocator.malloc a size with
+            | Ok c -> l.Scenario.handles <- l.Scenario.handles @ [ c ]
+            | Error _ -> ())
+        | None -> ())
+      links
+  end;
+  if rand 8 = 0 then
+    List.iter
+      (fun l ->
+        match (l.Scenario.alloc, l.Scenario.handles) with
+        | Some a, c :: rest ->
+            ignore (Allocator.free a c);
+            l.Scenario.handles <- rest
+        | _ -> ())
+      links;
+  if rand 8 = 0 then
+    List.iter
+      (fun l ->
+        match l.Scenario.alloc with
+        | Some a -> Allocator.revoke_now a
+        | None -> ())
+      links;
+  (* a host-driven code patch through the bus — the cached blocks and
+     chained links covering the word must die on every machine *)
+  if rand 8 = 0 then begin
+    match links with
+    | l0 :: _ ->
+        let comp = rand l0.Scenario.n in
+        let word = Encode.encode Scenario.patch_insn_after in
+        List.iter
+          (fun l ->
+            let b = Loader.find l.Scenario.t (Scenario.comp_name comp) in
+            let addr = b.Loader.image.Asm.origin + Scenario.patch_offset in
+            Bus.write l.Scenario.t.Loader.bus ~width:4 addr word)
+          links
+    | [] -> ()
+  end
+
+(** State-trace equivalence of all four dispatch modes on a linked
+    multi-compartment image, under interrupt injection, allocator churn,
+    revocation sweeps and code patches, with the chain machine forming
+    superblocks at [hot_threshold = 2]. *)
+let scenario_lockstep (sc : Scenario.t) =
+  let mk () = Scenario.link ~instrument:true sc in
+  let l_ref = mk () and l_fast = mk () and l_blk = mk () and l_chn = mk () in
+  let links = [ l_ref; l_fast; l_blk; l_chn ] in
+  let m_of l = l.Scenario.t.Loader.machine in
+  let ref_m = m_of l_ref
+  and fast_m = m_of l_fast
+  and blk_m = m_of l_blk
+  and chn_m = m_of l_chn in
+  chn_m.Machine.hot_threshold <- 2;
+  let rand = lcg sc.Scenario.seed in
+  let total = ref 0 in
+  let batches = ref 0 in
+  (try
+     while !total < scenario_fuel && !batches < scenario_batches do
+       incr batches;
+       inject rand links;
+       let fuel = 1 + rand 64 in
+       let r_ref, n_ref =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_ref ref_m
+       in
+       let r_fast, n_fast =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_cached fast_m
+       in
+       let r_blk, n_blk =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_block blk_m
+       in
+       let r_chn, n_chn =
+         Machine.run ~fuel ~dispatch:Machine.Dispatch_chain chn_m
+       in
+       if (r_ref, n_ref) <> (r_fast, n_fast) then
+         QCheck.Test.fail_reportf
+           "scenario ref/cached diverged after %d insns (fuel %d)" !total fuel;
+       if (r_ref, n_ref) <> (r_blk, n_blk) then
+         QCheck.Test.fail_reportf
+           "scenario ref/block diverged after %d insns (fuel %d): ref %d, \
+            block %d"
+           !total fuel n_ref n_blk;
+       if (r_ref, n_ref) <> (r_chn, n_chn) then
+         QCheck.Test.fail_reportf
+           "scenario ref/chain diverged after %d insns (fuel %d): ref %d, \
+            chain %d"
+           !total fuel n_ref n_chn;
+       Obs.compare_states ~what:"scenario ref/cached" !total ref_m fast_m;
+       Obs.compare_states ~what:"scenario ref/block" !total ref_m blk_m;
+       Obs.compare_states ~what:"scenario ref/chain" !total ref_m chn_m;
+       Obs.require_hashes_equal ~what:"scenario batch" !total ref_m
+         [ fast_m; blk_m; chn_m ];
+       total := !total + n_ref;
+       match r_ref with
+       | Machine.Step_halted | Machine.Step_double_fault -> raise Exit
+       | _ -> ()
+     done
+   with Exit -> ());
+  true
+
+(* --- cycle-model agreement ------------------------------------------------ *)
+
+(** The {!Perf} harness must charge identical cycles and instructions on
+    every dispatch variant, for both core models, with identical final
+    architectural state. *)
+let scenario_perf_agreement (sc : Scenario.t) =
+  List.iter
+    (fun core ->
+      let run dispatch =
+        let l = Scenario.link ~instrument:true sc in
+        let m = l.Scenario.t.Loader.machine in
+        let p =
+          Perf.create ~dispatch ~params:(Core_model.params_of core) m
+        in
+        let r = Perf.run ~fuel:scenario_fuel p in
+        (r, p.Perf.stats.Perf.cycles, p.Perf.stats.Perf.instructions,
+         Machine.state_hash m)
+      in
+      let (r0, c0, i0, h0) = run Perf.Reference in
+      List.iter
+        (fun (name, d) ->
+          let (r, c, i, h) = run d in
+          if (r, c, i, h) <> (r0, c0, i0, h0) then
+            QCheck.Test.fail_reportf
+              "%s/%s cycle model disagrees: ref (cycles %d, insns %d) vs \
+               (cycles %d, insns %d)%s"
+              (Core_model.config_name
+                 (Core_model.config ~cheri:true ~load_filter:true core))
+              name c0 i0 c i
+              (if h <> h0 then ", state hashes differ" else ""))
+        [ ("cached", Perf.Cached); ("block", Perf.Block); ("chain", Perf.Chain) ])
+    [ Core_model.Ibex; Core_model.Flute ];
+  true
+
+(* --- scenario authority monotonicity -------------------------------------- *)
+
+(** Collect the boot-time authority envelope of a linked image: the
+    (base, top, perms) of every tagged capability reachable at boot —
+    registers, PCC, SCRs, and every granule of the image SRAM. *)
+let boot_envelope (l : Scenario.linked) =
+  let m = l.Scenario.t.Loader.machine in
+  let sram = l.Scenario.t.Loader.sram in
+  let caps = ref [] in
+  let add c =
+    if c.Capability.tag then
+      caps :=
+        (Capability.base c, Capability.top c, Capability.perms c) :: !caps
+  in
+  for r = 1 to 15 do
+    add m.Machine.regs.(r)
+  done;
+  add m.Machine.pcc;
+  add m.Machine.mtcc;
+  add m.Machine.mepcc;
+  add m.Machine.mtdc;
+  add m.Machine.mscratchc;
+  let base = Sram.base sram and size = Sram.size sram in
+  let a = ref base in
+  while !a < base + size do
+    if Sram.tag_at sram !a then begin
+      let tag, w = Sram.read_cap sram !a in
+      add (Capability.of_word ~tag w)
+    end;
+    a := !a + 8
+  done;
+  !caps
+
+let within_envelope env c =
+  (not c.Capability.tag)
+  || begin
+       let b = Capability.base c
+       and t = Capability.top c
+       and p = Capability.perms c in
+       List.exists
+         (fun (eb, et, ep) -> b >= eb && t <= et && Perm.Set.subset p ep)
+         env
+     end
+
+(** Authority monotonicity generalized to multi-compartment programs:
+    run the scenario on the reference interpreter and assert,
+    periodically and at termination, that every tagged capability in
+    the register file, SCRs and the whole image SRAM still lies within
+    the boot envelope — the switcher, loader-built descriptors, sealed
+    sentries, heap allocations and code-patch windows included. *)
+let scenario_authority (sc : Scenario.t) =
+  let l = Scenario.link ~instrument:true sc in
+  let m = l.Scenario.t.Loader.machine in
+  let sram = l.Scenario.t.Loader.sram in
+  let env = boot_envelope l in
+  let srams = [ (Sram.base sram, Sram.size sram, sram) ] in
+  let check step =
+    match
+      Boot.authority_violations ~within:(within_envelope env) m srams
+    with
+    | [] -> ()
+    | bad ->
+        QCheck.Test.fail_reportf "scenario authority amplified at step %d: %s"
+          step (String.concat "," bad)
+  in
+  let rec go n =
+    if n > 2048 then ()
+    else
+      match Machine.step m with
+      | Machine.Step_ok ->
+          if n mod 64 = 0 then check n;
+          go (n + 1)
+      | Machine.Step_trap _ ->
+          check n;
+          go (n + 1)
+      | Machine.Step_waiting | Machine.Step_halted | Machine.Step_double_fault
+        ->
+          check n
+  in
+  go 0;
+  true
+
+(* --- auditor precision ---------------------------------------------------- *)
+
+(** Every generated clean scenario must audit with zero findings: the
+    auditor's zero-false-positive contract, pinned under generated
+    multi-compartment inputs rather than the hand-written corpus. *)
+let scenario_audits_clean (sc : Scenario.t) =
+  let l = Scenario.link ~instrument:false sc in
+  match Audit.run ~call_summaries:true ~field_sensitive:true l.Scenario.t with
+  | [] -> true
+  | findings ->
+      QCheck.Test.fail_reportf "clean scenario has %d finding(s): %s"
+        (List.length findings)
+        (String.concat "; "
+           (List.map (Format.asprintf "%a" Rules.pp_finding) findings))
+
+(* --- Revoker.tick_n ≡ tick loop ------------------------------------------- *)
+
+type revoker_case = {
+  rc_core : Core_model.core;
+  rc_pipelined : bool;
+  rc_caps : (int * int * bool) list;
+      (** (granule index, target granule index, freed?) capabilities to
+          place before the sweep *)
+  rc_grants : int list;  (** cycle-grant batch sizes *)
+  rc_snoops : int list;  (** grant indices after which a store lands *)
+}
+
+let revoker_heap_base = 0x40000
+let revoker_heap_size = 0x2000
+
+(** [tick_n k] must be bit-identical to [k] successive [tick]s — sweep
+    results, statistics, epoch transitions and final memory — under
+    random capability layouts, grant schedules and mid-sweep snoops. *)
+let revoker_tick_n_agrees (rc : revoker_case) =
+  let granules = revoker_heap_size / 8 in
+  let mk () =
+    let sram = Sram.create ~base:revoker_heap_base ~size:revoker_heap_size in
+    let rev =
+      Revbits.create ~heap_base:revoker_heap_base
+        ~heap_size:revoker_heap_size ()
+    in
+    List.iter
+      (fun (at, target, freed) ->
+        let at = revoker_heap_base + (8 * (at mod granules)) in
+        let target = revoker_heap_base + (8 * (target mod granules)) in
+        let c =
+          Capability.set_bounds
+            (Capability.with_address Capability.root_mem_rw target)
+            ~length:8 ~exact:true
+        in
+        Sram.write_cap sram at (true, Capability.to_word c);
+        if freed then Revbits.paint rev ~addr:target ~len:8)
+      rc.rc_caps;
+    let r =
+      Revoker.create ~pipelined:rc.rc_pipelined ~core:rc.rc_core ~sram ~rev ()
+    in
+    Revoker.kick r ~start:revoker_heap_base
+      ~stop:(revoker_heap_base + revoker_heap_size);
+    (sram, r)
+  in
+  let sram_a, a = mk () and sram_b, b = mk () in
+  List.iteri
+    (fun gi k ->
+      for _ = 1 to k do
+        Revoker.tick a
+      done;
+      Revoker.tick_n b k;
+      if List.mem gi rc.rc_snoops then begin
+        let addr = revoker_heap_base + (8 * (gi mod granules)) in
+        Sram.write32 sram_a addr 0xdeadbeef;
+        Sram.write32 sram_b addr 0xdeadbeef;
+        Revoker.snoop_store a addr;
+        Revoker.snoop_store b addr
+      end;
+      if
+        Revoker.sweeping a <> Revoker.sweeping b
+        || Revoker.words_swept a <> Revoker.words_swept b
+        || Revoker.busy_cycles a <> Revoker.busy_cycles b
+      then
+        QCheck.Test.fail_reportf
+          "tick/tick_n diverged at grant %d (swept %d vs %d, busy %d vs %d)"
+          gi (Revoker.words_swept a) (Revoker.words_swept b)
+          (Revoker.busy_cycles a) (Revoker.busy_cycles b))
+    rc.rc_grants;
+  ignore (Revoker.run_to_completion a);
+  Revoker.tick_n b 10_000_000;
+  if
+    Revoker.epoch a <> Revoker.epoch b
+    || Revoker.caps_invalidated a <> Revoker.caps_invalidated b
+    || Revoker.race_reloads a <> Revoker.race_reloads b
+  then
+    QCheck.Test.fail_reportf
+      "tick/tick_n end state differs (epoch %d vs %d, invalidated %d vs %d)"
+      (Revoker.epoch a) (Revoker.epoch b)
+      (Revoker.caps_invalidated a)
+      (Revoker.caps_invalidated b);
+  let a = ref revoker_heap_base in
+  while !a < revoker_heap_base + revoker_heap_size do
+    if
+      Sram.read32 sram_a !a <> Sram.read32 sram_b !a
+      || Sram.tag_at sram_a !a <> Sram.tag_at sram_b !a
+    then QCheck.Test.fail_reportf "tick/tick_n memory differs at 0x%x" !a;
+    a := !a + 8
+  done;
+  true
+
+let gen_revoker_case : revoker_case QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* core = oneofl [ Core_model.Ibex; Core_model.Flute ] in
+  let* pipelined = bool in
+  let* caps =
+    list_size (1 -- 12)
+      (let* at = int_bound 1023 and* target = int_bound 1023 and* freed = bool in
+       return (at, target, freed))
+  in
+  let* grants = list_size (1 -- 12) (1 -- 600) in
+  let* snoops = list_size (0 -- 3) (int_bound 12) in
+  return
+    { rc_core = core; rc_pipelined = pipelined; rc_caps = caps;
+      rc_grants = grants; rc_snoops = snoops }
+
+let arb_revoker_case =
+  QCheck.make
+    ~print:(fun rc ->
+      Printf.sprintf "%s pipelined=%b caps=%d grants=[%s] snoops=[%s]"
+        (match rc.rc_core with Core_model.Ibex -> "ibex" | _ -> "flute")
+        rc.rc_pipelined (List.length rc.rc_caps)
+        (String.concat ";" (List.map string_of_int rc.rc_grants))
+        (String.concat ";" (List.map string_of_int rc.rc_snoops)))
+    gen_revoker_case
+
+(* --- the assembled test family -------------------------------------------- *)
+
+let arb_flat = Flatgen.arb_program Flatgen.gen_program
+let arb_flat_smc = Flatgen.arb_program Flatgen.gen_program_smc
+
+let arb_flat_seeded gen =
+  QCheck.make
+    ~print:(fun (ws, seed) ->
+      Printf.sprintf "seed %d\n%s" seed (Boot.print_words ws))
+    QCheck.Gen.(pair gen (int_bound 0x3FFF_FFFF))
+
+let tests =
+  [
+    QCheck.Test.make
+      ~name:"ref, cached, block and chain dispatch agree on random streams"
+      ~count:(Iters.count ~default:1000) arb_flat flat_lockstep;
+    QCheck.Test.make
+      ~name:"self-modifying streams agree on all four dispatch paths"
+      ~count:(Iters.count ~default:400) arb_flat_smc
+      (flat_lockstep ~writable_code:true);
+    QCheck.Test.make
+      ~name:"interrupt injection: all four paths deliver identically"
+      ~count:(Iters.count ~default:200)
+      (arb_flat_seeded Flatgen.gen_program)
+      flat_interrupt_lockstep;
+    QCheck.Test.make
+      ~name:"interrupt injection over self-modifying streams"
+      ~count:(Iters.count ~default:100)
+      (arb_flat_seeded Flatgen.gen_program_smc)
+      (flat_interrupt_lockstep ~writable_code:true);
+  ]
+
+let fuzz_tests =
+  [
+    QCheck.Test.make ~name:"no instruction stream amplifies authority"
+      ~count:(Iters.count ~default:300) arb_flat flat_authority;
+    QCheck.Test.make
+      ~name:"no self-modifying stream amplifies authority"
+      ~count:(Iters.count ~default:150) arb_flat_smc
+      (flat_authority ~writable_code:true);
+  ]
+
+let scenario_tests =
+  [
+    QCheck.Test.make
+      ~name:
+        "multi-compartment scenarios: four dispatch paths agree under \
+         interrupts, churn and patches"
+      ~count:(Iters.count ~default:60)
+      (Scenario.arb ())
+      scenario_lockstep;
+    QCheck.Test.make
+      ~name:"multi-compartment scenarios: cycle models agree on every \
+             dispatch variant"
+      ~count:(Iters.count ~default:15)
+      (Scenario.arb ())
+      scenario_perf_agreement;
+    QCheck.Test.make
+      ~name:"multi-compartment scenarios: no execution amplifies the boot \
+             authority envelope"
+      ~count:(Iters.count ~default:40)
+      (Scenario.arb ())
+      scenario_authority;
+    QCheck.Test.make
+      ~name:"clean generated scenarios audit with zero findings"
+      ~count:(Iters.count ~default:60)
+      (Scenario.arb ~clean:true ())
+      scenario_audits_clean;
+    QCheck.Test.make
+      ~name:"Revoker.tick_n is bit-identical to the tick loop"
+      ~count:(Iters.count ~default:100) arb_revoker_case
+      revoker_tick_n_agrees;
+  ]

@@ -339,18 +339,27 @@ let revoke_now t =
   if not t.in_revoke then begin
     t.in_revoke <- true;
     let c0 = Clock.cycles t.clock in
+    (* The sweep must cover every capability-bearing word, not just the
+       heap: a dangling pointer to quarantined memory can sit in a
+       compartment's globals, a stack frame or a register save area
+       (3.3.2 sweeps "all memory" for exactly this reason).  Sweeping
+       only [heap_base, heap_end) lets such a copy keep its tag,
+       turning the post-revocation reuse of the chunk into a writable
+       use-after-free against the allocator's own boundary tags. *)
+    let start = Sram.base t.sram in
+    let stop = start + Sram.size t.sram in
     (match t.temporal with
     | Baseline | Metadata -> ()
     | Software -> (
         match t.sw with
         | Some s ->
-            Sw_revoker.sweep s ~start:t.heap_base ~stop:(heap_end t);
+            Sw_revoker.sweep s ~start ~stop;
             t.st <- { t.st with sweeps = t.st.sweeps + 1 }
         | None -> failwith "Allocator: no software revoker attached")
     | Hardware -> (
         match t.hw with
         | Some h ->
-            Revoker.kick h ~start:t.heap_base ~stop:(heap_end t);
+            Revoker.kick h ~start ~stop;
             Clock.compute t.clock 20;
             hw_wait t h;
             t.st <- { t.st with sweeps = t.st.sweeps + 1 }

@@ -10,6 +10,7 @@
 
 open Cheriot_core
 module A = Cheriot_analysis.Absdom
+module Iters = Cheriot_proptest.Iters
 
 (* --- generators ---------------------------------------------------------- *)
 
@@ -84,33 +85,33 @@ let arb_vvv = QCheck.triple arb_v arb_v arb_v
 (* --- lattice laws --------------------------------------------------------- *)
 
 let t_commutative =
-  QCheck.Test.make ~name:"join commutative" ~count:1000 arb_vv (fun (a, b) ->
+  QCheck.Test.make ~name:"join commutative" ~count:(Iters.count ~default:1000) arb_vv (fun (a, b) ->
       A.equal (A.join a b) (A.join b a))
 
 let t_associative =
-  QCheck.Test.make ~name:"join associative" ~count:1000 arb_vvv
+  QCheck.Test.make ~name:"join associative" ~count:(Iters.count ~default:1000) arb_vvv
     (fun (a, b, c) -> A.equal (A.join a (A.join b c)) (A.join (A.join a b) c))
 
 let t_idempotent =
-  QCheck.Test.make ~name:"join idempotent" ~count:1000 arb_v (fun a ->
+  QCheck.Test.make ~name:"join idempotent" ~count:(Iters.count ~default:1000) arb_v (fun a ->
       A.equal (A.join a a) a)
 
 let t_upper_bound =
-  QCheck.Test.make ~name:"join is an upper bound" ~count:1000 arb_vv
+  QCheck.Test.make ~name:"join is an upper bound" ~count:(Iters.count ~default:1000) arb_vv
     (fun (a, b) ->
       let j = A.join a b in
       A.leq a j && A.leq b j)
 
 let t_widen_above_join =
-  QCheck.Test.make ~name:"widen sits above join" ~count:1000 arb_vv
+  QCheck.Test.make ~name:"widen sits above join" ~count:(Iters.count ~default:1000) arb_vv
     (fun (a, b) -> A.leq (A.join a b) (A.widen a b))
 
 let t_top_absorbs =
-  QCheck.Test.make ~name:"top absorbs" ~count:1000 arb_v (fun a ->
+  QCheck.Test.make ~name:"top absorbs" ~count:(Iters.count ~default:1000) arb_v (fun a ->
       A.equal (A.join a A.top_v) A.top_v && A.leq a A.top_v)
 
 let t_join_invariant =
-  QCheck.Test.make ~name:"join preserves pmust ⊆ pmay" ~count:1000 arb_vv
+  QCheck.Test.make ~name:"join preserves pmust ⊆ pmay" ~count:(Iters.count ~default:1000) arb_vv
     (fun (a, b) ->
       let j = A.join a b in
       Perm.Set.subset j.A.pmust j.A.pmay)
@@ -124,7 +125,7 @@ let t_join_invariant =
    widens an interval straight to full (≤ 1 each) — 40 covers it. *)
 let t_widening_terminates =
   QCheck.Test.make ~name:"ascending chains stabilize under the 8-join budget"
-    ~count:200
+    ~count:(Iters.count ~default:200)
     (QCheck.make QCheck.Gen.(list_size (return 100) v_gen))
     (fun vs ->
       match vs with

@@ -13,25 +13,13 @@ open Cheriot_core
 open Cheriot_isa
 module Sram = Cheriot_mem.Sram
 module Bus = Cheriot_mem.Bus
-module Mmio = Cheriot_mem.Mmio
+module Boot = Cheriot_proptest.Boot
 
-let code_base = 0x1_0000
+let code_base = Boot.code_base
 let code_size = 0x400
 
-let boot ?(device = false) words =
-  let bus = Bus.create () in
-  let code = Sram.create ~base:code_base ~size:code_size in
-  Bus.add_sram bus code;
-  if device then
-    Bus.add_device bus (fst (Mmio.ram_backed ~name:"dev" ~base:0x9000 ~size:16));
-  let m = Machine.create bus in
-  List.iteri (fun i w -> Sram.write32 code (code_base + (4 * i)) w) words;
-  Machine.flush_decode_cache m;
-  m.Machine.pcc <-
-    Capability.set_bounds
-      (Capability.with_address Capability.root_executable code_base)
-      ~length:code_size ~exact:false;
-  (m, code)
+(* the shared single-SRAM boot from the property harness *)
+let boot ?device words = Boot.code_only ~code_size ?device words
 
 let result_name = function
   | Machine.Step_ok -> "ok"

@@ -3,30 +3,16 @@
    exhaustive small-field checks plus qcheck properties. *)
 
 open Cheriot_core
+module Iters = Cheriot_proptest.Iters
 
-let gen_region =
-  (* Regions biased toward interesting sizes: small, around 511, around
-     power-of-two boundaries, and huge. *)
-  let open QCheck.Gen in
-  let size =
-    oneof
-      [
-        int_bound 511;
-        map (fun n -> 512 + n) (int_bound 4096);
-        oneofl [ 0; 1; 511; 512; 1 lsl 12; (1 lsl 12) + 1; 1 lsl 20; 1 lsl 24 ];
-        int_bound ((1 lsl 28) - 1);
-      ]
-  in
-  let addr = oneof [ int_bound 0xFFFF; int_bound 0xFFFF_FFFF ] in
-  pair addr size
-
-let arb_region =
-  QCheck.make
-    ~print:(fun (b, l) -> Printf.sprintf "base=0x%x len=0x%x" b l)
-    gen_region
+(* The biased region generator lives in the property harness
+   ([Cheriot_proptest.Flatgen]); counts scale with PROP_ITERS. *)
+let gen_region = Cheriot_proptest.Flatgen.gen_region
+let arb_region = Cheriot_proptest.Flatgen.arb_region
 
 let prop_set_bounds_covers =
-  QCheck.Test.make ~name:"set_bounds covers request" ~count:5000 arb_region
+  QCheck.Test.make ~name:"set_bounds covers request"
+    ~count:(Iters.count ~default:5000) arb_region
     (fun (base, length) ->
       QCheck.assume (base + length <= 0x1_0000_0000);
       match Bounds.set_bounds ~base ~length with
@@ -36,7 +22,7 @@ let prop_set_bounds_covers =
           b' = db && t' = dt && b' <= base && t' >= base + length)
 
 let prop_small_exact =
-  QCheck.Test.make ~name:"lengths <= 511 always exact" ~count:5000
+  QCheck.Test.make ~name:"lengths <= 511 always exact" ~count:(Iters.count ~default:5000)
     QCheck.(
       make
         ~print:(fun (b, l) -> Printf.sprintf "base=0x%x len=%d" b l)
@@ -47,7 +33,7 @@ let prop_small_exact =
       | Some (_, b', t') -> b' = base && t' = base + length)
 
 let prop_exact_matches_rounding =
-  QCheck.Test.make ~name:"set_bounds_exact iff no rounding" ~count:5000
+  QCheck.Test.make ~name:"set_bounds_exact iff no rounding" ~count:(Iters.count ~default:5000)
     arb_region (fun (base, length) ->
       QCheck.assume (base + length <= 0x1_0000_0000);
       let exact = Bounds.set_bounds_exact ~base ~length in
@@ -58,7 +44,7 @@ let prop_exact_matches_rounding =
           else exact = None)
 
 let prop_crrl_cram_consistent =
-  QCheck.Test.make ~name:"CRRL/CRAM make CSetBoundsExact succeed" ~count:5000
+  QCheck.Test.make ~name:"CRRL/CRAM make CSetBoundsExact succeed" ~count:(Iters.count ~default:5000)
     QCheck.(
       make
         ~print:(fun (b, l) -> Printf.sprintf "base=0x%x len=0x%x" b l)
@@ -72,7 +58,7 @@ let prop_crrl_cram_consistent =
       && Option.is_some (Bounds.set_bounds_exact ~base:abase ~length:rlen))
 
 let prop_crrl_minimal =
-  QCheck.Test.make ~name:"CRRL is minimal for aligned bases" ~count:2000
+  QCheck.Test.make ~name:"CRRL is minimal for aligned bases" ~count:(Iters.count ~default:2000)
     QCheck.(int_bound 0xFFFFF)
     (fun length ->
       let rlen = Bounds.crrl length in
@@ -87,7 +73,7 @@ let prop_crrl_minimal =
 
 let prop_representability_within =
   QCheck.Test.make ~name:"addresses within bounds are representable"
-    ~count:5000 arb_region (fun (base, length) ->
+    ~count:(Iters.count ~default:5000) arb_region (fun (base, length) ->
       QCheck.assume (base + length <= 0x1_0000_0000 && length > 0);
       match Bounds.set_bounds ~base ~length with
       | None -> false
@@ -102,7 +88,7 @@ let prop_representability_within =
 
 let prop_below_base_invalid =
   QCheck.Test.make ~name:"addresses below base are never representable"
-    ~count:5000 arb_region (fun (base, length) ->
+    ~count:(Iters.count ~default:5000) arb_region (fun (base, length) ->
       QCheck.assume (base + length <= 0x1_0000_0000 && base > 0);
       match Bounds.set_bounds ~base ~length with
       | None -> false

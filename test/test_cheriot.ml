@@ -14,6 +14,7 @@ let () =
       ("sealing-service", Test_sealing_service.suite);
       ("fuzz", Test_fuzz.suite);
       ("differential", Test_differential.suite);
+      ("proptest", Test_prop.suite);
       ("decode-cache", Test_decode_cache.suite);
       ("block-cache", Test_block_cache.suite);
       ("integration", Test_integration.suite);

@@ -14,304 +14,19 @@
    into superblocks.  All four must be observationally
    indistinguishable.
 
-   This test runs the same random instruction streams (the [Test_fuzz]
-   generator: well-formed capability/memory/ALU instructions plus raw
-   random words) on four identically-booted machines in lockstep — one
-   per dispatch path (the block and chain machines are driven with
-   [fuel:1], which cuts every block after one instruction, exposing the
-   mid-block machine state) — and compares the full architectural state
-   after every single step: step result, PCC, all registers, special
-   capability registers, CSRs, and the retired-event record the cycle
-   models consume.  At the end of each stream the state hashes (which
-   also cover memory contents and tag bits) must agree.
+   The lockstep drivers, interrupt-injection schedules and the
+   state-comparison predicate live in [Cheriot_proptest]
+   ({!Props.flat_lockstep}, {!Props.flat_interrupt_lockstep},
+   {!Obs.compare_states}); this file is the property list, plus the
+   deterministic coremark lockstep.  The multi-compartment versions —
+   switcher cross-calls, allocator churn, revocation sweeps and code
+   patches in the loop — run in the [proptest] suite. *)
 
-   A second property drives the machines in random-length batches while
-   injecting external-interrupt toggles and timer writes identically on
-   all four, checking that batched (and chained) block execution
-   delivers every interrupt at exactly the same instruction boundary as
-   the per-step paths; the chain machines run with a tiny hotness
-   threshold so the streams constantly cross superblock-formation
-   points. *)
-
-open Cheriot_core
 open Cheriot_isa
-module Sram = Cheriot_mem.Sram
-module Bus = Cheriot_mem.Bus
-
-let code_base = Test_fuzz.code_base
-let code_size = Test_fuzz.code_size
-let data_base = Test_fuzz.data_base
-let data_size = Test_fuzz.data_size
-let stack_base = Test_fuzz.stack_base
-let stack_size = Test_fuzz.stack_size
-
-(* One machine booted exactly like [Test_fuzz.run_one]'s. *)
-let boot words =
-  let bus = Bus.create () in
-  let code = Sram.create ~base:code_base ~size:code_size in
-  let data = Sram.create ~base:data_base ~size:data_size in
-  let stack = Sram.create ~base:stack_base ~size:stack_size in
-  Bus.add_sram bus code;
-  Bus.add_sram bus data;
-  Bus.add_sram bus stack;
-  let m = Machine.create bus in
-  List.iteri (fun i w -> Sram.write32 code (code_base + (4 * i)) w) words;
-  (* The program was blitted straight into SRAM, behind the bus's store
-     snoop: flush, as a loader must. *)
-  Machine.flush_decode_cache m;
-  m.Machine.pcc <-
-    Capability.set_bounds
-      (Capability.with_address Capability.root_executable code_base)
-      ~length:code_size ~exact:false;
-  Machine.set_reg m 3
-    (Capability.set_bounds
-       (Capability.with_address Capability.root_mem_rw data_base)
-       ~length:data_size ~exact:false);
-  Machine.set_reg m 2
-    (Capability.clear_perms
-       (Capability.incr_address
-          (Capability.set_bounds
-             (Capability.with_address Capability.root_mem_rw stack_base)
-             ~length:stack_size ~exact:false)
-          stack_size)
-       [ GL ]);
-  Machine.set_reg m 9 (Capability.with_address Capability.root_sealing 3);
-  m
-
-let cap_eq a b =
-  a.Capability.tag = b.Capability.tag
-  && a.Capability.addr = b.Capability.addr
-  && Perm.Set.equal (Capability.perms a) (Capability.perms b)
-  && Otype.equal (Capability.otype a) (Capability.otype b)
-  && Bounds.raw_fields a.Capability.bounds = Bounds.raw_fields b.Capability.bounds
-  && a.Capability.reserved = b.Capability.reserved
-
-let event_eq (a : Machine.event) (b : Machine.event) =
-  a.ev_insn = b.ev_insn
-  && a.ev_taken_branch = b.ev_taken_branch
-  && a.ev_mem_bytes = b.ev_mem_bytes
-  && a.ev_is_cap_mem = b.ev_is_cap_mem
-  && a.ev_is_store = b.ev_is_store
-  && a.ev_trap = b.ev_trap
-
-(* Compare everything visible without hashing memory (memory divergence
-   is caught by the end-of-stream hash; per-step it could only arise
-   via a store, which the event compare pins to the same step). *)
-let compare_states step_no (ref_m : Machine.t) (fast_m : Machine.t) =
-  let fail what =
-    QCheck.Test.fail_reportf "paths diverged at step %d: %s" step_no what
-  in
-  if not (cap_eq ref_m.pcc fast_m.pcc) then fail "pcc";
-  for r = 1 to 15 do
-    if not (cap_eq ref_m.regs.(r) fast_m.regs.(r)) then
-      fail (Printf.sprintf "c%d" r)
-  done;
-  List.iter
-    (fun (name, a, b) -> if not (cap_eq a b) then fail name)
-    [
-      ("mtcc", ref_m.mtcc, fast_m.mtcc);
-      ("mepcc", ref_m.mepcc, fast_m.mepcc);
-      ("mtdc", ref_m.mtdc, fast_m.mtdc);
-      ("mscratchc", ref_m.mscratchc, fast_m.mscratchc);
-    ];
-  List.iter
-    (fun (name, a, b) -> if a <> b then fail name)
-    [
-      ("mcause", ref_m.mcause, fast_m.mcause);
-      ("mtval", ref_m.mtval, fast_m.mtval);
-      ("minstret", ref_m.minstret, fast_m.minstret);
-      ("mshwm", ref_m.mshwm, fast_m.mshwm);
-      ("mshwmb", ref_m.mshwmb, fast_m.mshwmb);
-    ];
-  if ref_m.mie <> fast_m.mie then fail "mie";
-  if ref_m.mpie <> fast_m.mpie then fail "mpie";
-  if ref_m.waiting <> fast_m.waiting then fail "waiting";
-  if not (event_eq ref_m.last_event fast_m.last_event) then fail "event"
-
-let run_stream words =
-  let ref_m = boot words
-  and fast_m = boot words
-  and blk_m = boot words
-  and chn_m = boot words in
-  (* a tiny hotness threshold makes superblock formation reachable
-     within short fuzz streams *)
-  chn_m.Machine.hot_threshold <- 2;
-  let rec go n =
-    if n > 256 then ()
-    else begin
-      let r_ref = Machine.step ref_m in
-      let r_fast = Machine.step_fast fast_m in
-      (* [run ~fuel:1] executes exactly one instruction (or interrupt /
-         idle round) of the block path; when fuel expires after a trap
-         step it reports [Step_ok], exactly as the per-step [run] loop
-         would, so map the reference result accordingly. *)
-      let r_blk, n_blk =
-        Machine.run ~fuel:1 ~dispatch:Machine.Dispatch_block blk_m
-      in
-      let r_chn, n_chn =
-        Machine.run ~fuel:1 ~dispatch:Machine.Dispatch_chain chn_m
-      in
-      if r_ref <> r_fast then
-        QCheck.Test.fail_reportf "ref/cached results diverged at step %d" n;
-      let expect_blk =
-        match r_ref with
-        | Machine.Step_ok | Machine.Step_trap _ -> Machine.Step_ok
-        | r -> r
-      in
-      if (r_blk, n_blk) <> (expect_blk, 1) then
-        QCheck.Test.fail_reportf "ref/block results diverged at step %d" n;
-      if (r_chn, n_chn) <> (expect_blk, 1) then
-        QCheck.Test.fail_reportf "ref/chain results diverged at step %d" n;
-      compare_states n ref_m fast_m;
-      compare_states n ref_m blk_m;
-      compare_states n ref_m chn_m;
-      match r_ref with
-      | Machine.Step_ok | Machine.Step_trap _ -> go (n + 1)
-      | Machine.Step_waiting | Machine.Step_halted | Machine.Step_double_fault
-        ->
-          ()
-    end
-  in
-  go 0;
-  let h = Machine.state_hash ref_m in
-  if
-    h <> Machine.state_hash fast_m
-    || h <> Machine.state_hash blk_m
-    || h <> Machine.state_hash chn_m
-  then QCheck.Test.fail_reportf "final state hashes differ";
-  true
-
-let prop_lockstep =
-  QCheck.Test.make
-    ~name:"ref, cached, block and chain dispatch agree on 1000 random streams"
-    ~count:1000
-    (QCheck.make
-       ~print:(fun ws ->
-         String.concat "\n"
-           (List.map
-              (fun w ->
-                match Encode.decode w with
-                | Some i -> Printf.sprintf "%08x  %s" w (Insn.to_string i)
-                | None -> Printf.sprintf "%08x  ???" w)
-              ws))
-       Test_fuzz.gen_program)
-    run_stream
-
-(* Interrupt-injection equivalence (the heart of the block-dispatch
-   soundness argument): drive the three paths in random-length fuel
-   batches, and between batches toggle the external interrupt line and
-   write the timer comparator / cycle counter — identically on all
-   three machines.  Batched block execution checks for interrupts only
-   at block boundaries; by the body invariant (see
-   [Machine.block_terminator]'s comment) that must deliver every
-   interrupt at exactly the same retired-instruction boundary as the
-   per-step loops, so results, retired counts and full state must stay
-   equal after every batch. *)
-let run_interrupt_stream (words, seed) =
-  let handler_cap =
-    Capability.set_bounds
-      (Capability.with_address Capability.root_executable code_base)
-      ~length:code_size ~exact:false
-  in
-  let mk () =
-    let m = boot words in
-    (* vector traps back into the program text so interrupts take the
-       real trap-entry path instead of double-faulting *)
-    m.Machine.mtcc <- handler_cap;
-    m.Machine.mie <- true;
-    m
-  in
-  let ref_m = mk () and fast_m = mk () and blk_m = mk () and chn_m = mk () in
-  (* chain with a tiny hotness threshold: batches cross the superblock
-     formation point mid-stream, so interrupt delivery is checked
-     against freshly re-translated superblocks too *)
-  chn_m.Machine.hot_threshold <- 2;
-  let machines = [ ref_m; fast_m; blk_m; chn_m ] in
-  (* small deterministic LCG over the generated seed: the shrinker can
-     minimise interesting injection schedules along with the program *)
-  let state = ref seed in
-  let rand bound =
-    state := ((!state * 1103515245) + 12345) land 0x3FFF_FFFF;
-    !state mod bound
-  in
-  let total = ref 0 in
-  (try
-     while !total < 256 do
-       let fuel = 1 + rand 32 in
-       let toggle = rand 4 = 0 in
-       let retime = rand 4 = 0 in
-       let cmp = rand 8 and cyc = rand 8 in
-       List.iter
-         (fun (m : Machine.t) ->
-           if toggle then m.Machine.ext_interrupt <- not m.Machine.ext_interrupt;
-           if retime then begin
-             m.Machine.mtimecmp <- cmp;
-             m.Machine.mcycle <- cyc
-           end)
-         machines;
-       let r_ref, n_ref =
-         Machine.run ~fuel ~dispatch:Machine.Dispatch_ref ref_m
-       in
-       let r_fast, n_fast =
-         Machine.run ~fuel ~dispatch:Machine.Dispatch_cached fast_m
-       in
-       let r_blk, n_blk =
-         Machine.run ~fuel ~dispatch:Machine.Dispatch_block blk_m
-       in
-       let r_chn, n_chn =
-         Machine.run ~fuel ~dispatch:Machine.Dispatch_chain chn_m
-       in
-       if (r_ref, n_ref) <> (r_fast, n_fast) then
-         QCheck.Test.fail_reportf
-           "ref/cached batch diverged after %d insns (fuel %d)" !total fuel;
-       if (r_ref, n_ref) <> (r_blk, n_blk) then
-         QCheck.Test.fail_reportf
-           "ref/block batch diverged after %d insns (fuel %d): ref retired \
-            %d, block retired %d"
-           !total fuel n_ref n_blk;
-       if (r_ref, n_ref) <> (r_chn, n_chn) then
-         QCheck.Test.fail_reportf
-           "ref/chain batch diverged after %d insns (fuel %d): ref retired \
-            %d, chain retired %d"
-           !total fuel n_ref n_chn;
-       compare_states !total ref_m fast_m;
-       compare_states !total ref_m blk_m;
-       compare_states !total ref_m chn_m;
-       let h = Machine.state_hash ref_m in
-       if
-         h <> Machine.state_hash fast_m
-         || h <> Machine.state_hash blk_m
-         || h <> Machine.state_hash chn_m
-       then
-         QCheck.Test.fail_reportf "state hashes diverged after %d insns"
-           !total;
-       total := !total + n_ref;
-       match r_ref with
-       | Machine.Step_halted | Machine.Step_double_fault -> raise Exit
-       | _ -> ()
-     done
-   with Exit -> ());
-  true
-
-let prop_interrupt_lockstep =
-  QCheck.Test.make
-    ~name:"interrupt injection: all four paths deliver identically"
-    ~count:200
-    (QCheck.make
-       ~print:(fun (ws, seed) ->
-         Printf.sprintf "seed %d\n%s" seed
-           (String.concat "\n"
-              (List.map
-                 (fun w ->
-                   match Encode.decode w with
-                   | Some i -> Printf.sprintf "%08x  %s" w (Insn.to_string i)
-                   | None -> Printf.sprintf "%08x  ???" w)
-                 ws)))
-       QCheck.Gen.(pair Test_fuzz.gen_program (int_bound 0x3FFF_FFFF)))
-    run_interrupt_stream
+module Props = Cheriot_proptest.Props
 
 (* The same oracle on a deterministic workload with a long trace:
-   coremark's ISA program on all three dispatch paths, equal retired
+   coremark's ISA program on all four dispatch paths, equal retired
    counts and state hashes. *)
 let test_coremark_lockstep () =
   let module Coremark = Cheriot_workloads.Coremark in
@@ -343,9 +58,8 @@ let test_coremark_lockstep () =
   Alcotest.(check string) "state hash (superblocks)" ref_hash sb_hash
 
 let suite =
-  [
-    QCheck_alcotest.to_alcotest prop_lockstep;
-    QCheck_alcotest.to_alcotest prop_interrupt_lockstep;
-    Alcotest.test_case "coremark trace matches across dispatch paths" `Quick
-      test_coremark_lockstep;
-  ]
+  List.map QCheck_alcotest.to_alcotest Props.tests
+  @ [
+      Alcotest.test_case "coremark trace matches across dispatch paths" `Quick
+        test_coremark_lockstep;
+    ]

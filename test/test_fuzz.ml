@@ -2,182 +2,17 @@
 
    "The program's total authority is completely captured by [the register
    file] and those that can be (transitively) loaded through them"
-   (paper 2.5), and guarded manipulation can only shrink it.  We boot a
-   machine whose entire authority is three known capabilities (code,
-   data, stack), execute random instruction streams, and assert after
-   every step that every tagged capability anywhere — registers, special
-   registers, memory — still lies within the initial authority.  Any
-   emulator bug that let authority grow (widened bounds, regained
-   permissions, forged tags) fails this test. *)
+   (paper 2.5), and guarded manipulation can only shrink it.  The boot
+   scaffolding, stream generator and authority scan all live in
+   [Cheriot_proptest] ({!Boot}, {!Flatgen}, {!Props.flat_authority});
+   this file is the property list.  The multi-compartment
+   generalization — the same invariant over linked loader images with
+   switcher, allocator and sealed sentries in play — runs in the
+   [proptest] suite ({!Props.scenario_authority}). *)
 
 open Cheriot_core
-open Cheriot_isa
-module Sram = Cheriot_mem.Sram
-module Bus = Cheriot_mem.Bus
-
-let code_base = 0x1_0000
-let code_size = 0x800
-let data_base = 0x2_0000
-let data_size = 0x1000
-let stack_base = 0x3_0000
-let stack_size = 0x800
-
-(* The initial authority: anything reachable must stay inside these. *)
-let mem_perms = Capability.perms Capability.root_mem_rw
-let exec_perms = Capability.perms Capability.root_executable
-
-let seal_perms = Capability.perms Capability.root_sealing
-
-let within_authority c =
-  if not c.Capability.tag then true
-  else
-    let b = Capability.base c and t = Capability.top c in
-    let inside lo sz = b >= lo && t <= lo + sz in
-    let p = Capability.perms c in
-    (* a tagged cap is fine iff it is a (bounds, perms) shrink of one of
-       the three granted capabilities *)
-    (inside code_base code_size && Perm.Set.subset p exec_perms)
-    || ((inside data_base data_size || inside stack_base stack_size)
-       && Perm.Set.subset p mem_perms)
-    || (inside 0 8 && Perm.Set.subset p seal_perms)
-
-let check_machine m srams =
-  let bad = ref [] in
-  let chk what c =
-    if not (within_authority c) then
-      bad := Fmt.str "%s=%a" what Capability.pp c :: !bad
-  in
-  for r = 1 to 15 do
-    chk (Printf.sprintf "c%d" r) m.Machine.regs.(r)
-  done;
-  chk "pcc" m.Machine.pcc;
-  chk "mepcc" m.Machine.mepcc;
-  chk "mtdc" m.Machine.mtdc;
-  chk "mscratchc" m.Machine.mscratchc;
-  List.iter
-    (fun (base, size, sram) ->
-      let a = ref base in
-      while !a < base + size do
-        if Sram.tag_at sram !a then begin
-          let tag, w = Sram.read_cap sram !a in
-          chk (Printf.sprintf "mem@0x%x" !a) (Capability.of_word ~tag w)
-        end;
-        a := !a + 8
-      done)
-    srams;
-  !bad
-
-(* A generator biased toward well-formed instructions so runs get past
-   the first step, plus raw random words for decoder robustness. *)
-let gen_word : int QCheck.Gen.t =
-  let open QCheck.Gen in
-  let reg = int_bound 15 in
-  let insn =
-    oneof
-      [
-        (let* a = reg and* b = reg and* c = reg in
-         oneofl
-           Insn.
-             [
-               Cincaddr (a, b, c);
-               Csetaddr (a, b, c);
-               Csetbounds (a, b, c);
-               Candperm (a, b, c);
-               Cseal (a, b, c);
-               Cunseal (a, b, c);
-               Csub (a, b, c);
-               Ctestsubset (a, b, c);
-               Op (Add, a, b, c);
-               Op (Xor, a, b, c);
-             ]);
-        (let* a = reg and* b = reg and* i = int_bound 255 in
-         oneofl
-           Insn.
-             [
-               Cincaddrimm (a, b, i * 8);
-               Csetboundsimm (a, b, i);
-               Op_imm (Add, a, b, i);
-               Clc (a, b, (i land 63) * 8);
-               Csc (a, b, (i land 63) * 8);
-               Load { signed = true; width = W; rd = a; rs1 = b; off = i * 4 };
-               Store { width = W; rs2 = a; rs1 = b; off = i * 4 };
-               Cmove (a, b);
-               Ccleartag (a, b);
-               Cget (Base, a, b);
-               Cget (Perm, a, b);
-             ]);
-      ]
-  in
-  frequency
-    [ (8, map Encode.encode insn); (2, map (fun w -> w land 0xFFFFFFFF) int) ]
-
-let gen_program = QCheck.Gen.(list_size (return 64) gen_word)
-
-let run_one words =
-  let bus = Bus.create () in
-  let code = Sram.create ~base:code_base ~size:code_size in
-  let data = Sram.create ~base:data_base ~size:data_size in
-  let stack = Sram.create ~base:stack_base ~size:stack_size in
-  Bus.add_sram bus code;
-  Bus.add_sram bus data;
-  Bus.add_sram bus stack;
-  let m = Machine.create bus in
-  List.iteri (fun i w -> Sram.write32 code (code_base + (4 * i)) w) words;
-  m.Machine.pcc <-
-    Capability.set_bounds
-      (Capability.with_address Capability.root_executable code_base)
-      ~length:code_size ~exact:false;
-  Machine.set_reg m 3
-    (Capability.set_bounds
-       (Capability.with_address Capability.root_mem_rw data_base)
-       ~length:data_size ~exact:false);
-  Machine.set_reg m 2
-    (Capability.clear_perms
-       (Capability.incr_address
-          (Capability.set_bounds
-             (Capability.with_address Capability.root_mem_rw stack_base)
-             ~length:stack_size ~exact:false)
-          stack_size)
-       [ GL ]);
-  (* a sealing key too: otype authority must not leak memory authority *)
-  Machine.set_reg m 9 (Capability.with_address Capability.root_sealing 3);
-  let srams =
-    [
-      (code_base, code_size, code);
-      (data_base, data_size, data);
-      (stack_base, stack_size, stack);
-    ]
-  in
-  let rec go n =
-    if n > 256 then true
-    else
-      match Machine.step m with
-      | Machine.Step_ok -> (
-          match check_machine m srams with
-          | [] -> go (n + 1)
-          | bad ->
-              QCheck.Test.fail_reportf "authority amplified at step %d: %s" n
-                (String.concat "," bad))
-      | Machine.Step_trap _ | Machine.Step_waiting | Machine.Step_halted
-      | Machine.Step_double_fault ->
-          check_machine m srams = []
-  in
-  go 0
-
-let prop_authority_monotone =
-  QCheck.Test.make ~name:"no instruction stream amplifies authority"
-    ~count:300
-    (QCheck.make
-       ~print:(fun ws ->
-         String.concat "\n"
-           (List.map
-              (fun w ->
-                match Encode.decode w with
-                | Some i -> Printf.sprintf "%08x  %s" w (Insn.to_string i)
-                | None -> Printf.sprintf "%08x  ???" w)
-              ws))
-       gen_program)
-    run_one
+module Boot = Cheriot_proptest.Boot
+module Props = Cheriot_proptest.Props
 
 (* A sealed-capability fuzz: sealing then unsealing through random
    manipulation must never produce a tagged cap with a changed body. *)
@@ -191,7 +26,7 @@ let prop_seal_integrity =
       let c =
         Capability.set_bounds
           (Capability.with_address Capability.root_mem_rw
-             (data_base + (addr_off * 2)))
+             (Boot.data_base + (addr_off * 2)))
           ~length:32 ~exact:false
       in
       match Capability.seal c ~key with
@@ -207,4 +42,4 @@ let prop_seal_integrity =
 
 let suite =
   let q = QCheck_alcotest.to_alcotest in
-  [ q prop_authority_monotone; q prop_seal_integrity ]
+  List.map q Props.fuzz_tests @ [ q prop_seal_integrity ]

@@ -161,6 +161,30 @@ let test_stale_cap_invalidated_by_sweep () =
   ignore slot;
   check_inv s
 
+let test_stale_cap_outside_heap_invalidated () =
+  (* Same guarantee for copies held OUTSIDE the heap — compartment
+     globals, spilled stack slots, register save areas.  [revoke_now]
+     used to sweep only [heap_base, heap_end), so such a copy kept its
+     tag across revocation and the chunk's reuse became a writable
+     use-after-free against the allocator's own boundary tags (shaken
+     out by the proptest scenario generator). *)
+  let clock = Clock.create (Core_model.params_of Core_model.Flute) in
+  let sram_base = heap_base - 0x1000 in
+  let sram = Sram.create ~base:sram_base ~size:(heap_size + 0x1000) in
+  let rev = Revbits.create ~heap_base ~heap_size () in
+  let alloc = Allocator.create ~sram ~rev ~clock ~heap_base ~heap_size () in
+  Allocator.set_sw_revoker alloc (Sw_revoker.create ~sram ~rev ~clock ());
+  let victim = ok (Allocator.malloc alloc 32) in
+  let global = sram_base + 0x100 in
+  Sram.write_cap sram global (victim.Capability.tag, Capability.to_word victim);
+  ok (Allocator.free alloc victim);
+  Allocator.revoke_now alloc;
+  Alcotest.(check bool) "stale out-of-heap copy untagged" false
+    (Sram.tag_at sram global);
+  match Allocator.check_invariants alloc with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
 let test_oom_triggers_revocation () =
   let s = make ~quarantine_threshold:(1024 * 1024) () in
   (* Threshold never fires; exhaustion must force a pass + retry. *)
@@ -328,6 +352,8 @@ let suite =
     Alcotest.test_case "no reuse before sweep" `Quick test_no_reuse_before_sweep;
     Alcotest.test_case "sweep invalidates stale caps" `Quick
       test_stale_cap_invalidated_by_sweep;
+    Alcotest.test_case "sweep reaches caps outside the heap" `Quick
+      test_stale_cap_outside_heap_invalidated;
     Alcotest.test_case "exhaustion forces a pass" `Quick
       test_oom_triggers_revocation;
     Alcotest.test_case "hardware revoker path" `Quick test_hardware_path;
