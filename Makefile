@@ -2,15 +2,17 @@
 #
 # `make ci` is the gate: build, lint (warnings-as-errors), the full
 # test suite (including the differential oracle between the reference,
-# cached, block and chain dispatch paths), the dispatch-parity gate (the
-# differential suite in isolation — it fails printing the qcheck fuzz
-# seed and shrunk program on any state-hash mismatch), the static
-# firmware audit (`cheriot_audit all`: shipped images audit clean, the
-# bad-image corpus is fully detected), and reduced-workload runs of the
-# decode-cache, block-exec and chain-exec benchmarks, which exit
-# non-zero if any dispatch path diverges on any workload.  The smoke
-# benches write BENCH_*_smoke.json; they are divergence gates, not
-# performance claims — use `make bench` for real numbers.
+# cached, block, chain and jit dispatch paths), the dispatch-parity
+# gate (the differential suite in isolation — it fails printing the
+# qcheck fuzz seed and shrunk program on any state-hash mismatch), the
+# static firmware audit (`cheriot_audit all`: shipped images audit
+# clean, the bad-image corpus is fully detected), and reduced-workload
+# runs of the decode-cache, block-exec, chain-exec and jit-exec
+# benchmarks, which exit non-zero if any dispatch path diverges on any
+# workload (jit_exec additionally fails if the optimizer never
+# engages).  The smoke benches write BENCH_*_smoke.json; they are
+# divergence gates, not performance claims — use `make bench` for real
+# numbers.
 
 .PHONY: all build lint test parity prop-long audit bench bench-smoke ci clean
 
@@ -34,8 +36,8 @@ test: build
 audit: build
 	dune exec bin/cheriot_audit.exe -- all
 
-# Dispatch parity: every dispatch path (ref / cached / block / chain)
-# must be observationally identical on random streams, on generated
+# Dispatch parity: every dispatch path (ref / cached / block / chain /
+# jit) must be observationally identical on random streams, on generated
 # multi-compartment scenarios (switcher cross-calls, allocator churn,
 # revocation sweeps, code patches), under interrupt injection, and on
 # coremark.  Alcotest prints the failing qcheck seed and the shrunk
@@ -57,12 +59,14 @@ bench: build
 	dune exec bench/main.exe -- decode_cache
 	dune exec bench/main.exe -- block_exec
 	dune exec bench/main.exe -- chain_exec
+	dune exec bench/main.exe -- jit_exec
 	dune exec bench/main.exe -- audit
 
 bench-smoke: build
 	dune exec bench/main.exe -- decode_cache smoke
 	dune exec bench/main.exe -- block_exec smoke
 	dune exec bench/main.exe -- chain_exec smoke
+	dune exec bench/main.exe -- jit_exec smoke
 	dune exec bench/main.exe -- audit smoke
 
 ci: build lint test parity audit bench-smoke

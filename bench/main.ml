@@ -804,6 +804,191 @@ let chain_exec ?(smoke = false) () =
   if !diverged then begin
     prerr_endline "chain_exec: dispatch paths diverged";
     exit 1
+  end;
+  (* The chained tier only pays off if the trace heuristic actually
+     fires: at least one workload must have formed a superblock, or the
+     heuristic has regressed into never triggering. *)
+  if
+    not
+      (List.exists
+         (fun (_, _, _, _, ch, _) ->
+           (Machine.block_stats ch.pt_machine).Machine.superblocks_formed > 0)
+         rows)
+  then begin
+    prerr_endline "chain_exec: no workload formed any superblock";
+    exit 1
+  end
+
+(* --- trace-jit benchmark -------------------------------------------------- *)
+
+(* Five-way differential timing adding the optimizing jit tier
+   ([Dispatch_jit]: chained superblock rounds executing per-block check
+   plans from [Ir.optimize]) to the [chain_exec] set.  All five must
+   retire identical instruction counts and reach bit-identical
+   architectural state; the interesting numbers are the jit tier's win
+   over the chain path and the optimizer counters (eliminated / hoisted
+   checks, removed bookkeeping, opt side exits).  Writes
+   BENCH_jit_exec.json, and fails the run if no workload formed a
+   superblock or eliminated a check — the optimizer never engaging is a
+   regression, not a neutral result. *)
+
+let jit_dispatches =
+  [|
+    Machine.Dispatch_ref;
+    Machine.Dispatch_cached;
+    Machine.Dispatch_block;
+    Machine.Dispatch_chain;
+    Machine.Dispatch_jit;
+  |]
+
+(* Interleaved min-of-5 quintuplets on fresh machines, for the same
+   reasons as [time_paths]. *)
+let time_five ~mk =
+  let finish best m =
+    {
+      pt_insns = m.Machine.minstret;
+      pt_seconds = best;
+      pt_ips = float_of_int m.Machine.minstret /. max 1e-9 best;
+      pt_hash = Machine.state_hash m;
+      pt_machine = m;
+    }
+  in
+  let n = Array.length jit_dispatches in
+  let best = Array.make n infinity in
+  let last = Array.make n None in
+  for _ = 1 to 5 do
+    Array.iteri
+      (fun i d ->
+        let dt, m = block_run_once ~mk d in
+        if dt < best.(i) then best.(i) <- dt;
+        last.(i) <- Some m)
+      jit_dispatches
+  done;
+  Array.init n (fun i -> finish best.(i) (Option.get last.(i)))
+
+let jit_exec ?(smoke = false) () =
+  section
+    (if smoke then "jit exec -- smoke (reduced workloads)"
+     else "jit exec -- chained blocks vs optimizing trace jit");
+  let workloads =
+    [
+      ( "coremark",
+        fun () ->
+          Coremark.setup
+            ~iterations:(if smoke then 2 else 40)
+            (Core_model.config ~cheri:true ~load_filter:true Core_model.Ibex)
+      );
+      ( "alloc_bench",
+        fun () -> Alloc_bench.isa_setup ~rounds:(if smoke then 5 else 400) ()
+      );
+      ( "iot_app",
+        fun () -> Iot_app.isa_setup ~packets:(if smoke then 10 else 1500) ()
+      );
+    ]
+  in
+  Format.printf "%-12s %12s %13s %13s %8s %8s %7s@." "workload" "insns"
+    "chain i/s" "jit i/s" "vs chn" "vs ref" "match";
+  let diverged = ref false in
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let p = time_five ~mk in
+        let r = p.(0) and c = p.(1) and b = p.(2) and ch = p.(3) in
+        let j = p.(4) in
+        let ok =
+          Array.for_all
+            (fun q -> q.pt_insns = r.pt_insns && q.pt_hash = r.pt_hash)
+            p
+        in
+        if not ok then begin
+          diverged := true;
+          Format.eprintf
+            "DIVERGENCE on %s: ref %d/%s cached %d/%s block %d/%s chain \
+             %d/%s jit %d/%s@."
+            name r.pt_insns r.pt_hash c.pt_insns c.pt_hash b.pt_insns b.pt_hash
+            ch.pt_insns ch.pt_hash j.pt_insns j.pt_hash
+        end;
+        let vs_chain = j.pt_ips /. ch.pt_ips in
+        let vs_ref = j.pt_ips /. r.pt_ips in
+        Format.printf "%-12s %12d %13.0f %13.0f %7.2fx %7.2fx %7s@." name
+          r.pt_insns ch.pt_ips j.pt_ips vs_chain vs_ref
+          (if ok then "yes" else "NO");
+        (name, r, c, b, ch, j, ok))
+      workloads
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"bench\": \"jit_exec\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"workloads\": [\n" smoke);
+  List.iteri
+    (fun i (name, r, c, b, ch, j, ok) ->
+      let js = Machine.block_stats j.pt_machine in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S,\n\
+           \     \"reference\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f},\n\
+           \     \"cached\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f},\n\
+           \     \"block\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f},\n\
+           \     \"chain\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f},\n\
+           \     \"jit\": {\"instructions\": %d, \"seconds\": %.6f, \
+            \"insns_per_sec\": %.0f,\n\
+           \             \"block_hits\": %d, \"block_misses\": %d, \
+            \"block_invalidations\": %d,\n\
+           \             \"block_aborts\": %d, \"blocks_filled\": %d, \
+            \"avg_block_len\": %.2f,\n\
+           \             \"chain_hits\": %d, \"chain_unlinks\": %d, \
+            \"superblocks_formed\": %d, \"side_exits\": %d,\n\
+           \             \"jit_blocks_compiled\": %d, \"checks_eliminated\": \
+            %d, \"checks_hoisted\": %d,\n\
+           \             \"dead_bookkeeping_removed\": %d, \
+            \"opt_side_exits\": %d},\n\
+           \     \"speedup_vs_chain\": %.3f, \"speedup_vs_block\": %.3f, \
+            \"speedup_vs_reference\": %.3f, \"state_match\": %b}%s\n"
+           name r.pt_insns r.pt_seconds r.pt_ips c.pt_insns c.pt_seconds
+           c.pt_ips b.pt_insns b.pt_seconds b.pt_ips ch.pt_insns ch.pt_seconds
+           ch.pt_ips j.pt_insns j.pt_seconds j.pt_ips js.Machine.block_hits
+           js.Machine.block_misses js.Machine.block_invalidations
+           js.Machine.block_aborts js.Machine.blocks_filled
+           (Machine.avg_block_len js) js.Machine.chain_hits
+           js.Machine.chain_unlinks js.Machine.superblocks_formed
+           js.Machine.side_exits js.Machine.jit_blocks_compiled
+           js.Machine.checks_eliminated js.Machine.checks_hoisted
+           js.Machine.dead_bookkeeping_removed js.Machine.opt_side_exits
+           (j.pt_ips /. ch.pt_ips)
+           (j.pt_ips /. b.pt_ips)
+           (j.pt_ips /. r.pt_ips)
+           ok
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  let file =
+    if smoke then "BENCH_jit_exec_smoke.json" else "BENCH_jit_exec.json"
+  in
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." file;
+  if !diverged then begin
+    prerr_endline "jit_exec: dispatch paths diverged";
+    exit 1
+  end;
+  let some f =
+    List.exists
+      (fun (_, _, _, _, _, j, _) ->
+        f (Machine.block_stats j.pt_machine) > 0)
+      rows
+  in
+  if not (some (fun s -> s.Machine.superblocks_formed)) then begin
+    prerr_endline "jit_exec: no workload formed any superblock";
+    exit 1
+  end;
+  if not (some (fun s -> s.Machine.checks_eliminated)) then begin
+    prerr_endline "jit_exec: optimizer eliminated no checks on any workload";
+    exit 1
   end
 
 (* --- static auditor timing ------------------------------------------------ *)
@@ -873,6 +1058,7 @@ let all () =
   decode_cache ();
   block_exec ();
   chain_exec ();
+  jit_exec ();
   audit_bench ();
   micro ()
 
@@ -893,6 +1079,8 @@ let () =
   | [| _; "block_exec"; "smoke" |] -> block_exec ~smoke:true ()
   | [| _; "chain_exec" |] -> chain_exec ()
   | [| _; "chain_exec"; "smoke" |] -> chain_exec ~smoke:true ()
+  | [| _; "jit_exec" |] -> jit_exec ()
+  | [| _; "jit_exec"; "smoke" |] -> jit_exec ~smoke:true ()
   | [| _; "audit" |] -> audit_bench ()
   | [| _; "audit"; "smoke" |] -> audit_bench ~smoke:true ()
   | [| _; "micro" |] -> micro ()
@@ -900,5 +1088,6 @@ let () =
       prerr_endline
         "usage: main.exe \
          [table1|table2|table3|table4|fig5|fig6|iot|ablations|decode_cache \
-         [smoke]|block_exec [smoke]|chain_exec [smoke]|audit [smoke]|micro]";
+         [smoke]|block_exec [smoke]|chain_exec [smoke]|jit_exec \
+         [smoke]|audit [smoke]|micro]";
       exit 2

@@ -145,6 +145,7 @@ let demo_cmd =
           ("cached", Cheriot_isa.Machine.Dispatch_cached);
           ("block", Cheriot_isa.Machine.Dispatch_block);
           ("chain", Cheriot_isa.Machine.Dispatch_chain);
+          ("jit", Cheriot_isa.Machine.Dispatch_jit);
         ]
     in
     Arg.(
@@ -154,9 +155,11 @@ let demo_cmd =
           ~doc:
             "execution machinery: ref (re-decode every step), cached \
              (decoded-instruction cache), block (basic-block \
-             translation cache), or chain (chained blocks with \
+             translation cache), chain (chained blocks with \
              trace-driven superblocks; traced transfers are marked \
-             [chain] / [side-exit])")
+             [chain] / [side-exit]), or jit (chained blocks running \
+             optimized check plans; traced transfers are marked [jit], \
+             guard deoptimizations [opt-side-exit])")
   in
   Cmd.v
     (Cmd.info "demo"

@@ -11,6 +11,7 @@ type dispatch =
   | Dispatch_cached
   | Dispatch_block
   | Dispatch_chain
+  | Dispatch_jit
 
 type cheri_cause =
   | Cheri_bounds
@@ -167,6 +168,18 @@ type t = {
   mutable hot_threshold : int;
       (* edge-traversal count at which a hot fall-through edge triggers
          superblock formation; tests lower it to fuzz the crossing *)
+  mutable hot_adaptive : bool;
+      (* drive [hot_threshold] from the chain-hit/unlink ratio (see
+         [adapt_hot]); tests that pin [hot_threshold] turn this off *)
+  mutable ht_resolves : int;  (* edge resolutions since the last adapt *)
+  mutable ht_unlinks_mark : int;  (* chain_unlinks at the last adapt *)
+  (* Dispatch_jit optimizer counters (cumulative, bumped at compile
+     time per translated block, plus [opt_side_exits] at run time). *)
+  mutable jit_blocks_compiled : int;
+  mutable checks_eliminated : int;
+  mutable checks_hoisted : int;
+  mutable dead_bookkeeping_removed : int;
+  mutable opt_side_exits : int;
 }
 
 (* A decode-cache entry carries a fetch "ticket": the machine mode and
@@ -221,6 +234,32 @@ and bentry = {
   mutable b_fall : bentry option;
   mutable b_fall_epoch : int;
   mutable b_cnt_fall : int;
+  (* Indirect-target slot ([Jalr]-ended blocks): the block most recently
+     reached through this block's indirect exit.  Epoch-validated like
+     the direct links, but — unlike them — the successor's ticket is
+     re-checked at every traversal: a [Jalr] target comes from a live
+     register, so nothing pins it (or the post-jump PCC) between
+     traversals. *)
+  mutable b_ind : bentry option;
+  mutable b_ind_epoch : int;
+  (* The block's optimized execution plan, compiled lazily on first
+     [Dispatch_jit] entry (see [compile_jit]). *)
+  mutable b_jit : jit option;
+}
+
+(* A compiled plan for one (super)block: per-instruction check levels
+   and block-entry guards from [Ir.optimize], plus compile-time folds
+   of the block's static control-flow capabilities.  [Capability.null]
+   (physical compare) marks a fold that was not taken. *)
+and jit = {
+  j_chk : Ir.chk array;  (* per-instruction residual access checks *)
+  j_guards : Ir.guard array;  (* block-entry hoisted checks *)
+  j_br : Capability.t array;
+      (* per-instruction folded taken-target PCC of an in-bounds
+         direct [Branch]; [Capability.null] where not folded *)
+  j_jal_target : Capability.t;  (* folded final-[Jal] target PCC *)
+  j_link_on : Capability.t;  (* its link sentry when [mie] is set... *)
+  j_link_off : Capability.t;  (* ...and when it is clear *)
 }
 
 exception Trap of cause
@@ -273,6 +312,9 @@ let create ?(mode = Cheriot) ?(load_filter = true) bus =
           b_fall = None;
           b_fall_epoch = -1;
           b_cnt_fall = 0;
+          b_ind = None;
+          b_ind_epoch = -1;
+          b_jit = None;
         }
       ()
   in
@@ -321,6 +363,14 @@ let create ?(mode = Cheriot) ?(load_filter = true) bus =
     block_ev_n = 0;
     pending_mark = 0;
     hot_threshold = 32;
+    hot_adaptive = true;
+    ht_resolves = 0;
+    ht_unlinks_mark = 0;
+    jit_blocks_compiled = 0;
+    checks_eliminated = 0;
+    checks_hoisted = 0;
+    dead_bookkeeping_removed = 0;
+    opt_side_exits = 0;
   }
 
 (* regs.(0) is initialised to null and [set_reg] never writes it, so the
@@ -512,6 +562,138 @@ let do_csc m ~rs2 ~rs1 ~off =
   (try Bus.write_cap m.bus addr (value.Capability.tag, Capability.to_word value)
    with Bus.Bus_error _ -> raise (Trap Store_access_fault));
   note_store m addr
+
+(* --- plan-directed memory access (Dispatch_jit) ----------------------- *)
+
+(* The [do_load]/[do_store]/[do_clc]/[do_csc] bodies with the check
+   prologue replaced by the residual checks of an [Ir.chk] plan.  The
+   reduced arms exist only for CHERIoT-mode blocks (the optimizer emits
+   [Chk_full] throughout for Rv32), so the cited register {e is} the
+   authorizing capability there.  Check order within each arm mirrors
+   [check_access] (bounds before alignment), so the first failing check
+   — and therefore the trap cause — is identical to the reference
+   path's on every input the plan admits. *)
+
+let jit_load m chk ~rs1 ~off ~width ~signed ~rd =
+  let size = match width with Insn.B -> 1 | H -> 2 | W -> 4 in
+  let r = reg m rs1 in
+  let addr = (r.Capability.addr + off) land mask32 in
+  (match chk with
+  | Ir.Chk_full ->
+      let cap = match m.mode with Cheriot -> r | Rv32 -> m.ddc in
+      check_access m ~cap ~ridx:rs1 ~addr ~size ~store:false ~is_cap:false
+  | Ir.Chk_bounds ->
+      if not (Capability.in_bounds r ~size addr) then
+        access_fail Cheri_bounds rs1;
+      if addr land (size - 1) <> 0 then raise (Trap Load_misaligned)
+  | Ir.Chk_align ->
+      if addr land (size - 1) <> 0 then raise (Trap Load_misaligned)
+  | Ir.Chk_none -> ());
+  let v = data_read m ~size addr in
+  let v =
+    if signed then
+      match width with
+      | B -> (v lxor 0x80) - 0x80
+      | H -> (v lxor 0x8000) - 0x8000
+      | W -> v
+    else v
+  in
+  set_reg_int m rd v
+
+let jit_store m chk ~rs1 ~off ~width ~rs2 =
+  let size = match width with Insn.B -> 1 | H -> 2 | W -> 4 in
+  let r = reg m rs1 in
+  let addr = (r.Capability.addr + off) land mask32 in
+  (match chk with
+  | Ir.Chk_full ->
+      let cap = match m.mode with Cheriot -> r | Rv32 -> m.ddc in
+      check_access m ~cap ~ridx:rs1 ~addr ~size ~store:true ~is_cap:false
+  | Ir.Chk_bounds ->
+      if not (Capability.in_bounds r ~size addr) then
+        access_fail Cheri_bounds rs1;
+      if addr land (size - 1) <> 0 then raise (Trap Store_misaligned)
+  | Ir.Chk_align ->
+      if addr land (size - 1) <> 0 then raise (Trap Store_misaligned)
+  | Ir.Chk_none -> ());
+  data_write m ~size addr (reg_int m rs2);
+  note_store m addr
+
+let jit_clc m chk ~rd ~rs1 ~off =
+  if m.mode = Rv32 then raise (Trap Illegal_instruction);
+  let cap = reg m rs1 in
+  let addr = (Capability.address cap + off) land mask32 in
+  (match chk with
+  | Ir.Chk_full ->
+      check_access m ~cap ~ridx:rs1 ~addr ~size:8 ~store:false ~is_cap:true
+  | Ir.Chk_bounds ->
+      if not (Capability.in_bounds cap ~size:8 addr) then
+        access_fail Cheri_bounds rs1;
+      if addr land 7 <> 0 then raise (Trap Load_misaligned)
+  | Ir.Chk_align -> if addr land 7 <> 0 then raise (Trap Load_misaligned)
+  | Ir.Chk_none -> ());
+  let tag, word =
+    try Bus.read_cap m.bus addr
+    with Bus.Bus_error _ -> raise (Trap Load_access_fault)
+  in
+  let loaded = Capability.of_word ~tag word in
+  let loaded = Capability.load_attenuate ~authority:cap loaded in
+  let loaded = load_filter_apply m loaded in
+  set_reg m rd loaded
+
+let jit_csc m chk ~rs2 ~rs1 ~off =
+  if m.mode = Rv32 then raise (Trap Illegal_instruction);
+  let cap = reg m rs1 in
+  let addr = (Capability.address cap + off) land mask32 in
+  (match chk with
+  | Ir.Chk_full ->
+      check_access m ~cap ~ridx:rs1 ~addr ~size:8 ~store:true ~is_cap:true
+  | Ir.Chk_bounds ->
+      if not (Capability.in_bounds cap ~size:8 addr) then
+        access_fail Cheri_bounds rs1;
+      if addr land 7 <> 0 then raise (Trap Store_misaligned)
+  | Ir.Chk_align -> if addr land 7 <> 0 then raise (Trap Store_misaligned)
+  | Ir.Chk_none -> ());
+  let value = reg m rs2 in
+  (* The store-local check depends on the {e stored value}, not on a
+     fact any dominating access could establish: never eliminated. *)
+  if
+    value.Capability.tag
+    && (not (Capability.is_global value))
+    && not (Capability.has_perm cap SL)
+  then raise (Trap (Cheri_fault (Cheri_permit_store_local, rs2)));
+  (try Bus.write_cap m.bus addr (value.Capability.tag, Capability.to_word value)
+   with Bus.Bus_error _ -> raise (Trap Store_access_fault));
+  note_store m addr
+
+(* A block-entry guard (pass 2): tag/seal, the union of the permissions
+   the covered accesses need, and one bounds check over the union
+   footprint.  Evaluated against the {e entry} value of the register —
+   the optimizer only hoists over entry versions.  Failure is not a
+   trap: the caller falls back to the fully-checked plan for this block
+   execution, so a faulting access (if any) traps at its own
+   instruction with its own cause. *)
+let jit_guard_ok m (g : Ir.guard) =
+  let c = reg m g.Ir.g_rs1 in
+  c.Capability.tag
+  && (not (Capability.is_sealed c))
+  && ((not g.Ir.g_need_ld) || Capability.has_perm c LD)
+  && ((not g.Ir.g_need_sd) || Capability.has_perm c SD)
+  && ((not g.Ir.g_need_mc) || Capability.has_perm c MC)
+  &&
+  (* One decode covers every member: if [lo, lo + span) is in bounds
+     then each member's masked address lands inside it (all member
+     sums collapse consistently under the 32-bit mask exactly when the
+     whole span does — a span that straddles the wrap point cannot
+     satisfy [access + size <= top <= 2^32] and fails the guard). *)
+  let lo = (c.Capability.addr + g.Ir.g_lo) land mask32 in
+  Capability.in_bounds c ~size:(g.Ir.g_hi - g.Ir.g_lo) lo
+
+let jit_guards_ok m (gs : Ir.guard array) =
+  let ok = ref true in
+  for k = 0 to Array.length gs - 1 do
+    if not (jit_guard_ok m (Array.unsafe_get gs k)) then ok := false
+  done;
+  !ok
 
 (* --- CSRs ------------------------------------------------------------ *)
 
@@ -1186,6 +1368,9 @@ let translate m ~pcc0 ~pc0 ~sb ~cap =
           b_fall = None;
           b_fall_epoch = -1;
           b_cnt_fall = 0;
+          b_ind = None;
+          b_ind_epoch = -1;
+          b_jit = None;
         }
 
 let install_block m (b : bentry) =
@@ -1275,6 +1460,8 @@ let record_event m pc =
 (* Control-flow marks attached to ring entries for trace rendering. *)
 let mark_chained = 1
 let mark_side_exit = 2
+let mark_jit = 3
+let mark_opt_side_exit = 4
 
 (* Execute (a prefix of) a validated block.  The PCC sits at
    [b.b_start]; the caller has established that no interrupt is
@@ -1501,13 +1688,250 @@ let exec_block_fast m (b : bentry) ~fuel =
      result := enter_trap m cause);
   (!result, !i)
 
-(* Forward declaration: [exec_chain_fast] below needs the edge
-   resolver, which needs [form_superblock] defined above; the resolver
-   itself is defined after the executors only in the source order of
-   this file, so stash a ref.  (Set once, immediately after
-   [chain_edge] is defined.) *)
-let chain_edge_ref : (t -> bentry -> int -> bentry) ref =
-  ref (fun m _ _ -> m.bcache.Decode_cache.rc.Decode_cache.dummy)
+(* Adaptive hotness: every 1024 edge resolutions, compare the unlink
+   rate against a fixed budget.  Lots of unlinks means translations are
+   being invalidated faster than superblocks pay off (code churn,
+   patch-heavy phases): back the threshold off so formation work is not
+   wasted.  A quiet epoch halves it, down to a floor that still filters
+   one-shot paths.  Purely a performance heuristic — the threshold only
+   decides {e when} a superblock replaces an equivalent chain of short
+   blocks, never what executes. *)
+let adapt_hot m =
+  if m.hot_adaptive then begin
+    m.ht_resolves <- m.ht_resolves + 1;
+    if m.ht_resolves >= 1024 then begin
+      m.ht_resolves <- 0;
+      let unl = m.bcache.Decode_cache.chain_unlinks - m.ht_unlinks_mark in
+      m.ht_unlinks_mark <- m.bcache.Decode_cache.chain_unlinks;
+      if unl >= 128 then m.hot_threshold <- min 512 (m.hot_threshold * 2)
+      else m.hot_threshold <- max 8 (m.hot_threshold / 2)
+    end
+  end
+
+(* [b] just ran to completion and fell through (edge 0), or its direct
+   [Jal]/[Branch] terminator redirected the PCC (edge 1): resolve the
+   successor block of the edge that was taken, preferring the chained
+   link.
+
+   A valid link is followed {e without} probing the cache or ticket-
+   checking the successor — the exactness argument, in two halves:
+
+   - The link was installed at a traversal where the successor passed
+     the full probe + [block_ticket_valid] under the then-live PCC.
+     Both edge targets are static (Jal offset / branch target /
+     fall-through), and [exec] derives the post-edge PCC from the
+     pre-edge PCC by changing only the address, so every later
+     traversal of the same edge from a ticket-valid [b] produces a PCC
+     whose compared fields are {e value-equal} to link time
+     ([block_ticket_valid] accepts exactly value equality, so skipping
+     the re-compare loses nothing).  The mode is re-checked because it
+     is not derived from the PCC.
+   - Validity over time is the chain epoch: anything that can stale
+     any translation (store-kill, flush, superblock install) bumps it,
+     and a link is only followed while its recorded epoch matches.
+
+   On a stale or absent link the successor is re-resolved with the
+   full probe + ticket check at the live PC and the link is
+   (re)installed under the current epoch; a cache miss (or a
+   non-chainable terminator) returns the cache's dummy entry — a
+   physical-equality sentinel instead of an [option], so the per-edge
+   hot path never allocates — and the caller falls back to the normal
+   dispatch path. *)
+let chain_edge m (b : bentry) edge =
+  begin
+    adapt_hot m;
+    let bc = m.bcache in
+    if edge = 1 then b.b_cnt_taken <- b.b_cnt_taken + 1
+    else begin
+      b.b_cnt_fall <- b.b_cnt_fall + 1;
+      if
+        b.b_cnt_fall >= m.hot_threshold
+        && b.b_cnt_fall >= b.b_cnt_taken
+        && b.b_len < max_superblock_len
+      then begin
+        (* Hot and at least as fall-biased as taken: extending across a
+           branch whose taken direction dominates would turn the hot
+           edge into a side exit on most traversals, and the side-exit
+           continue makes even the break-even case no worse than
+           chaining.  The counter gate keeps re-checking each fall
+           traversal past the threshold until it holds, then the
+           attempt latches: on success the entry is replaced and [b]
+           goes unreachable; on failure (the path would not grow)
+           retrying would re-translate on every traversal. *)
+        form_superblock m b;
+        b.b_cnt_fall <- min_int
+      end
+    end;
+    let epoch = bc.Decode_cache.chain_epoch in
+    let link = if edge = 1 then b.b_taken else b.b_fall in
+    let lep = if edge = 1 then b.b_taken_epoch else b.b_fall_epoch in
+    match link with
+    | Some succ when lep = epoch && succ.b_mode = m.mode ->
+        bc.Decode_cache.chain_hits <- bc.Decode_cache.chain_hits + 1;
+        succ
+    | _ ->
+        if lep >= 0 && lep <> epoch then
+          bc.Decode_cache.chain_unlinks <- bc.Decode_cache.chain_unlinks + 1;
+        let pc = Capability.address m.pcc in
+        let rc = bc.Decode_cache.rc in
+        let s = (pc lsr 2) land rc.Decode_cache.mask in
+        if
+          Array.unsafe_get rc.Decode_cache.tags s = pc
+          && block_ticket_valid m (Array.unsafe_get rc.Decode_cache.payloads s)
+        then begin
+          rc.Decode_cache.hits <- rc.Decode_cache.hits + 1;
+          let succ = Array.unsafe_get rc.Decode_cache.payloads s in
+          if edge = 1 then begin
+            b.b_taken <- Some succ;
+            b.b_taken_epoch <- epoch
+          end
+          else begin
+            b.b_fall <- Some succ;
+            b.b_fall_epoch <- epoch
+          end;
+          succ
+        end
+        else rc.Decode_cache.dummy
+        (* miss: the caller's fill path counts it and fills *)
+  end
+
+(* [b]'s terminator was a [Jalr] that completed (edge 2): resolve the
+   successor at the live post-jump PC through the 1-entry indirect-
+   target slot.  Unlike the direct edges, the prediction must be
+   {e verified} on every traversal — the target address comes from a
+   register and the post-jump PCC from that register's metadata, so
+   nothing links one traversal's validation to the next: the slot only
+   saves the cache probe, [block_ticket_valid] always runs.  The epoch
+   check mirrors the direct links (a stale slot counts as an unlink); a
+   wrong prediction under a live epoch is just re-resolved and
+   overwritten, the way a BTB entry is. *)
+let chain_edge_ind m (b : bentry) =
+  adapt_hot m;
+  let bc = m.bcache in
+  let epoch = bc.Decode_cache.chain_epoch in
+  let pc = Capability.address m.pcc in
+  match b.b_ind with
+  | Some succ
+    when b.b_ind_epoch = epoch && succ.b_start = pc
+         && block_ticket_valid m succ ->
+      bc.Decode_cache.chain_hits <- bc.Decode_cache.chain_hits + 1;
+      succ
+  | _ ->
+      if b.b_ind_epoch >= 0 && b.b_ind_epoch <> epoch then
+        bc.Decode_cache.chain_unlinks <- bc.Decode_cache.chain_unlinks + 1;
+      let rc = bc.Decode_cache.rc in
+      let s = (pc lsr 2) land rc.Decode_cache.mask in
+      if
+        Array.unsafe_get rc.Decode_cache.tags s = pc
+        && block_ticket_valid m (Array.unsafe_get rc.Decode_cache.payloads s)
+      then begin
+        rc.Decode_cache.hits <- rc.Decode_cache.hits + 1;
+        let succ = Array.unsafe_get rc.Decode_cache.payloads s in
+        b.b_ind <- Some succ;
+        b.b_ind_epoch <- epoch;
+        succ
+      end
+      else rc.Decode_cache.dummy
+
+(* The recording path's entry point: derive the edge from the
+   terminator and the architectural event (the generic [exec] arm set
+   [ev_taken_branch]); the merged fast executors call [chain_edge] /
+   [chain_edge_ind] directly because they track the branch direction
+   themselves.  A [Jalr] may have entered through a sentry that
+   enabled interrupts, so its edge chains only when the delivery
+   predicate is still false — the same check the next round would run
+   first (and [mcycle]/[ext_interrupt] cannot move inside a round, so
+   checking it here is exactly per-step equivalent). *)
+let chain_next m (b : bentry) =
+  let dummy = m.bcache.Decode_cache.rc.Decode_cache.dummy in
+  match Array.unsafe_get b.b_insns (b.b_len - 1) with
+  | Insn.Jal _ -> chain_edge m b 1
+  | Insn.Branch _ ->
+      chain_edge m b (if m.last_event.ev_taken_branch then 1 else 0)
+  | Insn.Jalr _ ->
+      if m.mie && interrupt_pending m then dummy else chain_edge_ind m b
+  | i ->
+      (* Mret/Csr/…: posture-changing, never chained.  A block that
+         ended without a terminator (length cap, or the next word was
+         untranslatable) fell through: non-terminators cannot change
+         the delivery predicate, so its fall edge chains like a
+         not-taken branch's. *)
+      if block_terminator i then dummy else chain_edge m b 0
+
+(* Compile [b]'s optimized execution plan: the [Ir] pass results plus
+   compile-time folds of the static control-flow capabilities.  A
+   direct branch (or the final [Jal]) whose target is in bounds of the
+   block's PCC at that instruction can have its whole taken path —
+   bounds check, target PCC, and for [Jal] the sealed link sentry —
+   computed here once: every runtime traversal starts from a PCC
+   value-equal to the ticket (that is what admits the block), so the
+   folded records are value-equal to what the per-step path builds,
+   and an out-of-bounds target is simply left unfolded (the generic
+   path re-derives its trap exactly).  The fold base is rebuilt at the
+   {e instruction's} address — [Capability.with_address] decodes
+   relative to the current address, so [cur] must match the runtime
+   value exactly. *)
+let compile_jit m (b : bentry) =
+  let cheri = b.b_mode = Cheriot in
+  let chks, guards, (st : Ir.stats) = Ir.optimize ~cheri b.b_insns in
+  let brs = Array.make b.b_len Capability.null in
+  let jal_t = ref Capability.null in
+  let link_on = ref Capability.null in
+  let link_off = ref Capability.null in
+  let folds = ref 0 in
+  if cheri then
+    for i = 0 to b.b_len - 1 do
+      match Array.unsafe_get b.b_insns i with
+      | Insn.Branch (_, _, _, off) ->
+          let pc = b.b_start + (4 * i) in
+          let target = (pc + off) land mask32 in
+          let at = { b.b_pcc with Capability.addr = pc } in
+          if Capability.in_bounds at ~size:4 target then begin
+            brs.(i) <- { at with Capability.addr = target };
+            incr folds
+          end
+      | Insn.Jal (_, off) when i = b.b_len - 1 ->
+          let pc = b.b_start + (4 * i) in
+          let target = (pc + off) land mask32 in
+          let at = { b.b_pcc with Capability.addr = pc } in
+          if Capability.in_bounds at ~size:4 target then begin
+            jal_t := { at with Capability.addr = target };
+            let link = Capability.with_address at (pc + 4) in
+            (link_on :=
+               match
+                 Capability.seal_sentry link
+                   (Otype.return_sentry ~interrupts_enabled:true)
+               with
+               | Ok s -> s
+               | Error _ -> Capability.clear_tag link);
+            (link_off :=
+               match
+                 Capability.seal_sentry link
+                   (Otype.return_sentry ~interrupts_enabled:false)
+               with
+               | Ok s -> s
+               | Error _ -> Capability.clear_tag link);
+            incr folds
+          end
+      | _ -> ()
+    done;
+  m.jit_blocks_compiled <- m.jit_blocks_compiled + 1;
+  m.checks_eliminated <- m.checks_eliminated + st.Ir.eliminated;
+  m.checks_hoisted <- m.checks_hoisted + st.Ir.hoisted;
+  m.dead_bookkeeping_removed <-
+    m.dead_bookkeeping_removed + st.Ir.dead_bookkeeping + !folds;
+  let t =
+    {
+      j_chk = chks;
+      j_guards = guards;
+      j_br = brs;
+      j_jal_target = !jal_t;
+      j_link_on = !link_on;
+      j_link_off = !link_off;
+    }
+  in
+  b.b_jit <- Some t;
+  t
 
 (* The whole-round chained executor (the [record:false],
    [Dispatch_chain] hot path): [exec_block_fast]'s deferred-bookkeeping
@@ -1551,6 +1975,8 @@ let exec_chain_fast m (b0 : bentry) ~fuel =
   (* direction of the last executed [Branch] (the inline arm bypasses
      [last_event], so the chain point cannot read [ev_taken_branch]) *)
   let br_taken = ref false in
+  (* continuation block selected by a side-exit probe ([dummy] = none) *)
+  let cont = ref dummy in
   (* materialize the event of an inline-handled edge instruction when
      the round ends on it (on a chained transfer it is skipped: the
      successor's instructions overwrite or re-defer it) — field-for-
@@ -1562,6 +1988,39 @@ let exec_chain_fast m (b0 : bentry) ~fuel =
     ev.ev_mem_bytes <- 0;
     ev.ev_is_cap_mem <- false;
     ev.ev_is_store <- false;
+    ev.ev_trap <- None
+  in
+  (* materialize the event of the block's final instruction when the
+     round ends at the chain point: [sync] has drained the deferred
+     window there, and a cap-ended block's last instruction may be a
+     memory access, so the fields are rebuilt by class — field-for-
+     field what [finish] / the deferred epilogue would write *)
+  let end_event blk taken =
+    let last = blk.b_len - 1 in
+    let ev = m.last_event in
+    (match Array.unsafe_get blk.b_insns last with
+    | Insn.Load { width; _ } ->
+        ev.ev_mem_bytes <- (match width with Insn.B -> 1 | H -> 2 | W -> 4);
+        ev.ev_is_cap_mem <- false;
+        ev.ev_is_store <- false
+    | Insn.Store { width; _ } ->
+        ev.ev_mem_bytes <- (match width with Insn.B -> 1 | H -> 2 | W -> 4);
+        ev.ev_is_cap_mem <- false;
+        ev.ev_is_store <- true
+    | Insn.Clc _ ->
+        ev.ev_mem_bytes <- 8;
+        ev.ev_is_cap_mem <- true;
+        ev.ev_is_store <- false
+    | Insn.Csc _ ->
+        ev.ev_mem_bytes <- 8;
+        ev.ev_is_cap_mem <- true;
+        ev.ev_is_store <- true
+    | _ ->
+        ev.ev_mem_bytes <- 0;
+        ev.ev_is_cap_mem <- false;
+        ev.ev_is_store <- false);
+    ev.ev_insn <- Array.unsafe_get blk.b_opts last;
+    ev.ev_taken_branch <- taken;
     ev.ev_trap <- None
   in
   (try
@@ -1582,7 +2041,7 @@ let exec_chain_fast m (b0 : bentry) ~fuel =
        let n = if rem < b_len then rem else b_len in
        nexts_r := nexts;
        i := 0;
-       while (not !stop) && !i < n do
+       while (not !stop) && !cont == dummy && !i < n do
          (match Array.unsafe_get insns !i with
          | Insn.Lui (rd, imm20) ->
              set_reg_int m rd (imm20 lsl 12);
@@ -1645,10 +2104,30 @@ let exec_chain_fast m (b0 : bentry) ~fuel =
                m.minstret <- m.minstret + 1;
                br_taken := true;
                if !i < b_len - 1 then begin
-                 (* taken interior branch of a superblock: side exit *)
+                 (* taken interior branch of a superblock: side exit.
+                    Probe for a translated block at the live target — a
+                    hit continues the round there (the exit is then an
+                    ordinary transfer, not a round boundary); on a miss
+                    the round ends and the next one fills.  The miss is
+                    not counted here — the next round's probe counts
+                    it. *)
                  bc.Decode_cache.side_exits <- bc.Decode_cache.side_exits + 1;
-                 edge_event (Array.unsafe_get opts !i) true;
-                 stop := true
+                 (if !base + !i + 1 < fuel then begin
+                    let pc = Capability.address m.pcc in
+                    let s = (pc lsr 2) land rc.Decode_cache.mask in
+                    if
+                      Array.unsafe_get tags s = pc
+                      && block_ticket_valid m
+                           (Array.unsafe_get rc.Decode_cache.payloads s)
+                    then begin
+                      rc.Decode_cache.hits <- rc.Decode_cache.hits + 1;
+                      cont := Array.unsafe_get rc.Decode_cache.payloads s
+                    end
+                  end);
+                 if !cont == dummy then begin
+                   edge_event (Array.unsafe_get opts !i) true;
+                   stop := true
+                 end
                end
              end
              else begin
@@ -1691,26 +2170,41 @@ let exec_chain_fast m (b0 : bentry) ~fuel =
                  stop := true));
          incr i
        done;
-       if not !stop then
+       if !cont != dummy then begin
+         (* side-exit continue: transfer to the probed block *)
+         base := !base + !i;
+         b := !cont;
+         cont := dummy
+       end
+       else if not !stop then
          if !i = b_len then begin
            let edge =
              match Array.unsafe_get insns (b_len - 1) with
              | Insn.Jal _ -> 1
              | Insn.Branch _ -> if !br_taken then 1 else 0
-             | _ -> -1
+             | Insn.Jalr _ -> 2
+             | ti -> if block_terminator ti then -1 else 0
            in
            if edge < 0 then
-             (* generic terminator (Jalr/Mret/…): its [exec] arm left
-                the event exact *)
+             (* posture-changing terminator (Mret/Csr/…): its [exec]
+                arm left the event exact *)
              stop := true
            else begin
              (* the fall edge may still be deferred: materialize PCC
                 (and retire counts) before the probe below or a stop *)
              sync ();
-             if !base + !i < fuel then begin
-               let succ = !chain_edge_ref m blk edge in
+             if edge = 2 && m.mie && interrupt_pending m then
+               (* a sentry [Jalr] re-enabled interrupts with one
+                  pending: stop exactly where the per-step loop would
+                  deliver; the [exec] arm's event stands *)
+               stop := true
+             else if !base + !i < fuel then begin
+               let succ =
+                 if edge = 2 then chain_edge_ind m blk
+                 else chain_edge m blk edge
+               in
                if succ == dummy then begin
-                 edge_event (Array.unsafe_get opts (b_len - 1)) (edge = 1);
+                 if edge <> 2 then end_event blk (edge = 1);
                  stop := true
                end
                else begin
@@ -1719,7 +2213,7 @@ let exec_chain_fast m (b0 : bentry) ~fuel =
                end
              end
              else begin
-               edge_event (Array.unsafe_get opts (b_len - 1)) (edge = 1);
+               if edge <> 2 then end_event blk (edge = 1);
                stop := true
              end
            end
@@ -1769,105 +2263,321 @@ let exec_chain_fast m (b0 : bentry) ~fuel =
      result := enter_trap m cause);
   (!result, !base + !i)
 
-(* [b] just ran to completion and its terminator was a direct [Jal] or
-   a [Branch]: resolve the successor block of the edge that was taken,
-   preferring the chained link.
+(* The [Dispatch_jit] round executor: [exec_chain_fast] with every
+   block run under its compiled plan (compiled lazily on first entry).
+   Three specializations, none of which changes what is architecturally
+   observable:
 
-   A valid link is followed {e without} probing the cache or ticket-
-   checking the successor — the exactness argument, in two halves:
-
-   - The link was installed at a traversal where the successor passed
-     the full probe + [block_ticket_valid] under the then-live PCC.
-     Both edge targets are static (Jal offset / branch target /
-     fall-through), and [exec] derives the post-edge PCC from the
-     pre-edge PCC by changing only the address, so every later
-     traversal of the same edge from a ticket-valid [b] produces a PCC
-     whose compared fields are {e value-equal} to link time
-     ([block_ticket_valid] accepts exactly value equality, so skipping
-     the re-compare loses nothing).  The mode is re-checked because it
-     is not derived from the PCC.
-   - Validity over time is the chain epoch: anything that can stale
-     any translation (store-kill, flush, superblock install) bumps it,
-     and a link is only followed while its recorded epoch matches.
-
-   On a stale or absent link the successor is re-resolved with the
-   full probe + ticket check at the live PC and the link is
-   (re)installed under the current epoch; a cache miss (or a
-   non-chainable terminator) returns the cache's dummy entry — a
-   physical-equality sentinel instead of an [option], so the per-edge
-   hot path never allocates — and the caller falls back to the normal
-   dispatch path. *)
-let chain_edge m (b : bentry) edge =
-  begin
-    let bc = m.bcache in
-    if edge = 1 then b.b_cnt_taken <- b.b_cnt_taken + 1
-    else begin
-      b.b_cnt_fall <- b.b_cnt_fall + 1;
-      if
-        b.b_cnt_fall >= m.hot_threshold
-        && b.b_cnt_fall > 4 * b.b_cnt_taken
-        && b.b_len < max_superblock_len
-      then begin
-        (* Hot {e and} fall-dominated: extending across a branch whose
-           taken direction dominates would turn the hot edge into a
-           side exit on every traversal — strictly worse than chaining
-           it.  The ratio gate keeps re-checking each fall traversal
-           past the threshold until it holds, then the attempt latches:
-           on success the entry is replaced and [b] goes unreachable;
-           on failure (the path would not grow) retrying would
-           re-translate on every traversal. *)
-        form_superblock m b;
-        b.b_cnt_fall <- min_int
-      end
-    end;
-    let epoch = bc.Decode_cache.chain_epoch in
-    let link = if edge = 1 then b.b_taken else b.b_fall in
-    let lep = if edge = 1 then b.b_taken_epoch else b.b_fall_epoch in
-    match link with
-    | Some succ when lep = epoch && succ.b_mode = m.mode ->
-        bc.Decode_cache.chain_hits <- bc.Decode_cache.chain_hits + 1;
-        succ
-    | _ ->
-        if lep >= 0 && lep <> epoch then
-          bc.Decode_cache.chain_unlinks <- bc.Decode_cache.chain_unlinks + 1;
-        let pc = Capability.address m.pcc in
-        let rc = bc.Decode_cache.rc in
-        let s = (pc lsr 2) land rc.Decode_cache.mask in
-        if
-          Array.unsafe_get rc.Decode_cache.tags s = pc
-          && block_ticket_valid m (Array.unsafe_get rc.Decode_cache.payloads s)
-        then begin
-          rc.Decode_cache.hits <- rc.Decode_cache.hits + 1;
-          let succ = Array.unsafe_get rc.Decode_cache.payloads s in
-          if edge = 1 then begin
-            b.b_taken <- Some succ;
-            b.b_taken_epoch <- epoch
-          end
-          else begin
-            b.b_fall <- Some succ;
-            b.b_fall_epoch <- epoch
-          end;
-          succ
-        end
-        else rc.Decode_cache.dummy
-        (* miss: the caller's fill path counts it and fills *)
-  end
-
-(* The recording path's entry point: derive the edge from the
-   terminator and the architectural event (the generic [exec] arm set
-   [ev_taken_branch]); the merged fast executor calls [chain_edge]
-   directly because it tracks the branch direction itself. *)
-let chain_next m (b : bentry) =
-  let edge =
-    match Array.unsafe_get b.b_insns (b.b_len - 1) with
-    | Insn.Jal _ -> 1
-    | Insn.Branch _ -> if m.last_event.ev_taken_branch then 1 else 0
-    | _ -> -1 (* Jalr/Mret/…: indirect or posture-changing, never chained *)
+   - the memory arms run only the {e residual} checks of the per-
+     instruction [Ir.chk] plan — the elided checks are exactly those a
+     dominating check or a block-entry guard already proved would pass;
+   - the block-entry guards are evaluated once per block execution; if
+     any fails, this execution runs with full per-access checks (the
+     opt side exit: deoptimization in place — the faulting access, if
+     any, traps at its own instruction with its own cause);
+   - in-bounds direct branches and the final [Jal] use their folded
+     target (and link-sentry) capabilities — value-equal to what the
+     per-step path computes, with no per-traversal bounds decode or
+     sentry allocation. *)
+let exec_jit_fast m (b0 : bentry) ~fuel =
+  let bc = m.bcache in
+  let rc = bc.Decode_cache.rc in
+  let tags = rc.Decode_cache.tags in
+  let dummy = rc.Decode_cache.dummy in
+  let b = ref b0 in
+  let base = ref 0 in
+  let i = ref 0 in
+  let pending = ref 0 in
+  let result = ref Step_ok in
+  let stop = ref false in
+  let nexts_r = ref b0.b_nexts in
+  let sync () =
+    if !pending > 0 then begin
+      m.minstret <- m.minstret + !pending;
+      (match Array.unsafe_get !nexts_r (!i - 1) with
+      | Some c -> m.pcc <- c
+      | None -> ());
+      pending := 0
+    end
   in
-  if edge < 0 then m.bcache.Decode_cache.rc.Decode_cache.dummy
-  else chain_edge m b edge
-
-let () = chain_edge_ref := chain_edge
+  let br_taken = ref false in
+  let cont = ref dummy in
+  let edge_event opt taken =
+    let ev = m.last_event in
+    ev.ev_insn <- opt;
+    ev.ev_taken_branch <- taken;
+    ev.ev_mem_bytes <- 0;
+    ev.ev_is_cap_mem <- false;
+    ev.ev_is_store <- false;
+    ev.ev_trap <- None
+  in
+  let end_event blk taken =
+    let last = blk.b_len - 1 in
+    let ev = m.last_event in
+    (match Array.unsafe_get blk.b_insns last with
+    | Insn.Load { width; _ } ->
+        ev.ev_mem_bytes <- (match width with Insn.B -> 1 | H -> 2 | W -> 4);
+        ev.ev_is_cap_mem <- false;
+        ev.ev_is_store <- false
+    | Insn.Store { width; _ } ->
+        ev.ev_mem_bytes <- (match width with Insn.B -> 1 | H -> 2 | W -> 4);
+        ev.ev_is_cap_mem <- false;
+        ev.ev_is_store <- true
+    | Insn.Clc _ ->
+        ev.ev_mem_bytes <- 8;
+        ev.ev_is_cap_mem <- true;
+        ev.ev_is_store <- false
+    | Insn.Csc _ ->
+        ev.ev_mem_bytes <- 8;
+        ev.ev_is_cap_mem <- true;
+        ev.ev_is_store <- true
+    | _ ->
+        ev.ev_mem_bytes <- 0;
+        ev.ev_is_cap_mem <- false;
+        ev.ev_is_store <- false);
+    ev.ev_insn <- Array.unsafe_get blk.b_opts last;
+    ev.ev_taken_branch <- taken;
+    ev.ev_trap <- None
+  in
+  (try
+     while not !stop do
+       let blk = !b in
+       let insns = blk.b_insns in
+       let opts = blk.b_opts in
+       let nexts = blk.b_nexts in
+       let b_start = blk.b_start in
+       let b_len = blk.b_len in
+       let slot = (b_start lsr 2) land rc.Decode_cache.mask in
+       let rem = fuel - !base in
+       let n = if rem < b_len then rem else b_len in
+       let t =
+         match blk.b_jit with Some t -> t | None -> compile_jit m blk
+       in
+       (* Guards run against the entry register values, before any op:
+          all pass → the reduced plan is licensed for this execution;
+          any failure → deoptimize this execution to full checks. *)
+       let full =
+         Array.length t.j_guards > 0 && not (jit_guards_ok m t.j_guards)
+       in
+       if full then m.opt_side_exits <- m.opt_side_exits + 1;
+       let chks = t.j_chk in
+       let jbr = t.j_br in
+       nexts_r := nexts;
+       i := 0;
+       while (not !stop) && !cont == dummy && !i < n do
+         (match Array.unsafe_get insns !i with
+         | Insn.Lui (rd, imm20) ->
+             set_reg_int m rd (imm20 lsl 12);
+             incr pending
+         | Insn.Op_imm (op, rd, rs1, imm) ->
+             set_reg_int m rd (alu_exec op (reg_int m rs1) (imm land mask32));
+             incr pending
+         | Insn.Op (op, rd, rs1, rs2) ->
+             set_reg_int m rd (alu_exec op (reg_int m rs1) (reg_int m rs2));
+             incr pending
+         | Insn.Mul_div (op, rd, rs1, rs2) ->
+             set_reg_int m rd (muldiv_exec op (reg_int m rs1) (reg_int m rs2));
+             incr pending
+         | Insn.Load { signed; width; rd; rs1; off } ->
+             jit_load m
+               (if full then Ir.Chk_full else Array.unsafe_get chks !i)
+               ~rs1 ~off ~width ~signed ~rd;
+             incr pending
+         | Insn.Store { width; rs2; rs1; off } ->
+             jit_store m
+               (if full then Ir.Chk_full else Array.unsafe_get chks !i)
+               ~rs1 ~off ~width ~rs2;
+             incr pending;
+             if Array.unsafe_get tags slot <> b_start then begin
+               m.block_aborts <- m.block_aborts + 1;
+               stop := true
+             end
+         | Insn.Clc (rd, rs1, off) ->
+             jit_clc m
+               (if full then Ir.Chk_full else Array.unsafe_get chks !i)
+               ~rd ~rs1 ~off;
+             incr pending
+         | Insn.Csc (rs2, rs1, off) ->
+             jit_csc m
+               (if full then Ir.Chk_full else Array.unsafe_get chks !i)
+               ~rs2 ~rs1 ~off;
+             incr pending;
+             if Array.unsafe_get tags slot <> b_start then begin
+               m.block_aborts <- m.block_aborts + 1;
+               stop := true
+             end
+         | Insn.Jal (rd, off) ->
+             if t.j_jal_target != Capability.null then begin
+               (* folded: the bounds check passed at compile time
+                  against the same (cur, target) pair, and the link
+                  sentry for either posture is prebuilt *)
+               set_reg m rd (if m.mie then t.j_link_on else t.j_link_off);
+               m.minstret <- m.minstret + !pending + 1;
+               pending := 0;
+               m.pcc <- t.j_jal_target
+             end
+             else begin
+               sync ();
+               do_jal m rd off;
+               m.minstret <- m.minstret + 1
+             end
+         | Insn.Branch (cond, rs1, rs2, off) ->
+             if branch_taken cond (reg_int m rs1) (reg_int m rs2) then begin
+               let tgt = Array.unsafe_get jbr !i in
+               if tgt != Capability.null then begin
+                 (* folded: no bounds decode, no PCC allocation *)
+                 m.minstret <- m.minstret + !pending + 1;
+                 pending := 0;
+                 m.pcc <- tgt
+               end
+               else begin
+                 sync ();
+                 let pc = Capability.address m.pcc in
+                 let target = (pc + off) land mask32 in
+                 if
+                   m.mode = Cheriot
+                   && not (Capability.in_bounds m.pcc ~size:4 target)
+                 then raise (Trap (Cheri_fault (Cheri_bounds, 16)));
+                 m.pcc <- { m.pcc with Capability.addr = target };
+                 m.minstret <- m.minstret + 1
+               end;
+               br_taken := true;
+               if !i < b_len - 1 then begin
+                 bc.Decode_cache.side_exits <- bc.Decode_cache.side_exits + 1;
+                 (if !base + !i + 1 < fuel then begin
+                    let pc = Capability.address m.pcc in
+                    let s = (pc lsr 2) land rc.Decode_cache.mask in
+                    if
+                      Array.unsafe_get tags s = pc
+                      && block_ticket_valid m
+                           (Array.unsafe_get rc.Decode_cache.payloads s)
+                    then begin
+                      rc.Decode_cache.hits <- rc.Decode_cache.hits + 1;
+                      cont := Array.unsafe_get rc.Decode_cache.payloads s
+                    end
+                  end);
+                 if !cont == dummy then begin
+                   edge_event (Array.unsafe_get opts !i) true;
+                   stop := true
+                 end
+               end
+             end
+             else begin
+               br_taken := false;
+               incr pending
+             end
+         | ( Insn.Cincaddr _ | Insn.Cincaddrimm _ | Insn.Csetaddr _
+           | Insn.Csetbounds _ | Insn.Csetboundsexact _ | Insn.Csetboundsimm _
+           | Insn.Crrl _ | Insn.Cram _ | Insn.Candperm _ | Insn.Ccleartag _
+           | Insn.Cmove _ | Insn.Cseal _ | Insn.Cunseal _ | Insn.Cget _
+           | Insn.Csub _ | Insn.Ctestsubset _ | Insn.Csetequalexact _ ) as insn
+           ->
+             exec_cap m insn;
+             incr pending
+         | insn -> (
+             sync ();
+             match
+               exec m insn
+                 (Array.unsafe_get opts !i)
+                 (Array.unsafe_get nexts !i)
+             with
+             | Step_ok ->
+                 if m.last_event.ev_taken_branch && !i < b_len - 1 then begin
+                   bc.Decode_cache.side_exits <-
+                     bc.Decode_cache.side_exits + 1;
+                   stop := true
+                 end
+                 else if
+                   m.last_event.ev_is_store
+                   && Array.unsafe_get tags slot <> b_start
+                 then begin
+                   m.block_aborts <- m.block_aborts + 1;
+                   stop := true
+                 end
+             | (Step_trap _ | Step_waiting | Step_halted | Step_double_fault)
+               as r ->
+                 result := r;
+                 stop := true));
+         incr i
+       done;
+       if !cont != dummy then begin
+         base := !base + !i;
+         b := !cont;
+         cont := dummy
+       end
+       else if not !stop then
+         if !i = b_len then begin
+           let edge =
+             match Array.unsafe_get insns (b_len - 1) with
+             | Insn.Jal _ -> 1
+             | Insn.Branch _ -> if !br_taken then 1 else 0
+             | Insn.Jalr _ -> 2
+             | ti -> if block_terminator ti then -1 else 0
+           in
+           if edge < 0 then stop := true
+           else begin
+             sync ();
+             if edge = 2 && m.mie && interrupt_pending m then stop := true
+             else if !base + !i < fuel then begin
+               let succ =
+                 if edge = 2 then chain_edge_ind m blk
+                 else chain_edge m blk edge
+               in
+               if succ == dummy then begin
+                 if edge <> 2 then end_event blk (edge = 1);
+                 stop := true
+               end
+               else begin
+                 base := !base + !i;
+                 b := succ
+               end
+             end
+             else begin
+               if edge <> 2 then end_event blk (edge = 1);
+               stop := true
+             end
+           end
+         end
+         else stop := true
+     done;
+     if !pending > 0 then begin
+       m.minstret <- m.minstret + !pending;
+       (match Array.unsafe_get (!b).b_nexts (!i - 1) with
+       | Some c -> m.pcc <- c
+       | None -> ());
+       pending := 0;
+       let ev = m.last_event in
+       (match Array.unsafe_get (!b).b_insns (!i - 1) with
+       | Insn.Load { width; _ } ->
+           ev.ev_mem_bytes <- (match width with Insn.B -> 1 | H -> 2 | W -> 4);
+           ev.ev_is_cap_mem <- false;
+           ev.ev_is_store <- false
+       | Insn.Store { width; _ } ->
+           ev.ev_mem_bytes <- (match width with Insn.B -> 1 | H -> 2 | W -> 4);
+           ev.ev_is_cap_mem <- false;
+           ev.ev_is_store <- true
+       | Insn.Clc _ ->
+           ev.ev_mem_bytes <- 8;
+           ev.ev_is_cap_mem <- true;
+           ev.ev_is_store <- false
+       | Insn.Csc _ ->
+           ev.ev_mem_bytes <- 8;
+           ev.ev_is_cap_mem <- true;
+           ev.ev_is_store <- true
+       | _ ->
+           ev.ev_mem_bytes <- 0;
+           ev.ev_is_cap_mem <- false;
+           ev.ev_is_store <- false);
+       ev.ev_insn <- Array.unsafe_get (!b).b_opts (!i - 1);
+       ev.ev_taken_branch <- false;
+       ev.ev_trap <- None
+     end
+   with Trap cause ->
+     sync ();
+     m.last_event <- { no_event with ev_trap = Some cause };
+     incr i;
+     result := enter_trap m cause);
+  (!result, !base + !i)
 
 (* One round of the block dispatch path: interrupt/WFI handling exactly
    as [step_gen], then up to [fuel] instructions starting from the
@@ -1876,8 +2586,15 @@ let () = chain_edge_ref := chain_edge
    sound without re-running the boundary interrupt check, because
    neither edge instruction can change the delivery predicate (the
    instructions that can still terminate every translation unit and
-   end the chain).  The hand-inlined probe mirrors [fetch_cached]. *)
-let block_round m ~fuel ~record ~chain =
+   end the chain; the one chained exception, a completed [Jalr],
+   re-checks the predicate at its edge).  The hand-inlined probe
+   mirrors [fetch_cached].  With [jit:true] the recording walk also
+   compiles each block it enters and evaluates its guards, so the
+   optimizer counters and the [mark_jit]/[mark_opt_side_exit] trace
+   marks reflect what the merged jit executor would do — execution
+   itself stays on the fully-checked generic path, which the plans are
+   observationally equal to by construction. *)
+let block_round m ~fuel ~record ~chain ~jit =
   if m.waiting && interrupt_pending m then m.waiting <- false;
   if m.waiting then (Step_waiting, 1)
   else if m.mie && interrupt_pending m then begin
@@ -1892,6 +2609,14 @@ let block_round m ~fuel ~record ~chain =
   else begin
     let dummy = m.bcache.Decode_cache.rc.Decode_cache.dummy in
     let rec go b fuel used =
+      (if jit then begin
+         let t = match b.b_jit with Some t -> t | None -> compile_jit m b in
+         if Array.length t.j_guards > 0 && not (jit_guards_ok m t.j_guards)
+         then begin
+           m.opt_side_exits <- m.opt_side_exits + 1;
+           if record then m.pending_mark <- mark_opt_side_exit
+         end
+       end);
       let r, n =
         if record then exec_block m b ~fuel ~record
         else exec_block_fast m b ~fuel
@@ -1901,7 +2626,8 @@ let block_round m ~fuel ~record ~chain =
       | Step_ok when chain && n = b.b_len && fuel > n ->
           let succ = chain_next m b in
           if succ != dummy then begin
-            if record then m.pending_mark <- mark_chained;
+            if record then
+              m.pending_mark <- (if jit then mark_jit else mark_chained);
             go succ (fuel - n) used
           end
           else (r, used)
@@ -1911,7 +2637,9 @@ let block_round m ~fuel ~record ~chain =
        entry); the fast path runs the whole round in one merged
        executor with the transfers inlined *)
     let exec_from b =
-      if chain && not record then exec_chain_fast m b ~fuel else go b fuel 0
+      if chain && not record then
+        if jit then exec_jit_fast m b ~fuel else exec_chain_fast m b ~fuel
+      else go b fuel 0
     in
     let pc = Capability.address m.pcc in
     let rc = m.bcache.Decode_cache.rc in
@@ -1942,7 +2670,9 @@ let block_round m ~fuel ~record ~chain =
 let step_block m =
   m.block_ev_n <- 0;
   m.pending_mark <- 0;
-  let r, _ = block_round m ~fuel:max_block_len ~record:true ~chain:false in
+  let r, _ =
+    block_round m ~fuel:max_block_len ~record:true ~chain:false ~jit:false
+  in
   r
 
 (* [step_chain]: like [step_block] but follows chained edges, so one
@@ -1951,7 +2681,20 @@ let step_block m =
 let step_chain m =
   m.block_ev_n <- 0;
   m.pending_mark <- 0;
-  let r, _ = block_round m ~fuel:round_cap ~record:true ~chain:true in
+  let r, _ =
+    block_round m ~fuel:round_cap ~record:true ~chain:true ~jit:false
+  in
+  r
+
+(* [step_jit]: the recording entry point of the jit tier — a chained
+   round that also compiles each entered block, bumps the optimizer
+   counters, and marks [jit]/[opt-side-exit] transfers in the ring. *)
+let step_jit m =
+  m.block_ev_n <- 0;
+  m.pending_mark <- 0;
+  let r, _ =
+    block_round m ~fuel:round_cap ~record:true ~chain:true ~jit:true
+  in
   r
 
 let run ?(fuel = 10_000_000) ?(fast = false) ?dispatch m =
@@ -1961,16 +2704,19 @@ let run ?(fuel = 10_000_000) ?(fast = false) ?dispatch m =
     | None -> if fast then Dispatch_cached else Dispatch_ref
   in
   match dispatch with
-  | Dispatch_block | Dispatch_chain ->
+  | Dispatch_block | Dispatch_chain | Dispatch_jit ->
       (* Batched loop: fuel accounting is identical to the per-step
          loop below — each retired instruction, delivered interrupt, or
          trap consumes one unit, and a block (or chained round) is cut
          when the remaining fuel runs out inside it. *)
-      let chain = dispatch = Dispatch_chain in
+      let chain = dispatch <> Dispatch_block in
+      let jit = dispatch = Dispatch_jit in
       let rec go n =
         if n >= fuel then (Step_ok, n)
         else
-          let r, used = block_round m ~fuel:(fuel - n) ~record:false ~chain in
+          let r, used =
+            block_round m ~fuel:(fuel - n) ~record:false ~chain ~jit
+          in
           let n = n + used in
           match r with
           | Step_ok | Step_trap _ -> go n
@@ -2009,6 +2755,12 @@ type block_stats = {
   chain_unlinks : int;  (* stale links observed at traversal *)
   superblocks_formed : int;
   side_exits : int;  (* taken interior branches of superblocks *)
+  (* Dispatch_jit optimizer counters. *)
+  jit_blocks_compiled : int;
+  checks_eliminated : int;  (* pass 1: accesses with reduced checks *)
+  checks_hoisted : int;  (* pass 2: accesses covered by entry guards *)
+  dead_bookkeeping_removed : int;  (* pass 3 + control-flow folds *)
+  opt_side_exits : int;  (* block executions deoptimized by a guard *)
 }
 
 let block_stats m =
@@ -2025,6 +2777,11 @@ let block_stats m =
     chain_unlinks = s.Decode_cache.chain_unlinks;
     superblocks_formed = s.Decode_cache.superblocks_formed;
     side_exits = s.Decode_cache.side_exits;
+    jit_blocks_compiled = m.jit_blocks_compiled;
+    checks_eliminated = m.checks_eliminated;
+    checks_hoisted = m.checks_hoisted;
+    dead_bookkeeping_removed = m.dead_bookkeeping_removed;
+    opt_side_exits = m.opt_side_exits;
   }
 
 let avg_block_len (s : block_stats) =

@@ -16,12 +16,21 @@ type mode = Cheriot | Rv32
 
 (** Which fetch/decode machinery drives execution: the re-decoding
     reference interpreter, the decoded-instruction cache, the
-    basic-block translation cache with its batched run loop, or the
+    basic-block translation cache with its batched run loop, the
     chained variant that additionally links blocks across direct
-    [Jal]/[Branch] edges and re-translates hot fall-through paths into
-    superblocks.  All four are observationally identical per retired
-    instruction (enforced by [test/test_differential.ml]). *)
-type dispatch = Dispatch_ref | Dispatch_cached | Dispatch_block | Dispatch_chain
+    [Jal]/[Branch] edges (and fall-throughs and completed [Jalr]s) and
+    re-translates hot fall-through paths into superblocks, or the jit
+    tier that runs each block under a compiled plan from {!Ir} —
+    redundant capability checks eliminated, bounds checks hoisted into
+    block-entry guards, static control flow folded.  All five are
+    observationally identical per retired instruction (enforced by
+    [test/test_differential.ml] and the 5-way lockstep properties). *)
+type dispatch =
+  | Dispatch_ref
+  | Dispatch_cached
+  | Dispatch_block
+  | Dispatch_chain
+  | Dispatch_jit
 
 (** CHERI exception causes (reported via [mcause = 28] with the cause and
     the faulting register index in [mtval], as in CHERI RISC-V). *)
@@ -128,6 +137,24 @@ type t = {
       (** fall-through-edge traversal count at which [Dispatch_chain]
           re-translates the joined path as a superblock (default 32;
           tests lower it to fuzz the crossing) *)
+  mutable hot_adaptive : bool;
+      (** adapt [hot_threshold] to the chain-hit/unlink ratio (default
+          [true]; tests that pin [hot_threshold] set it to [false]) *)
+  mutable ht_resolves : int;  (** edge resolutions since the last adapt *)
+  mutable ht_unlinks_mark : int;
+      (** [chain_unlinks] snapshot at the last adapt *)
+  mutable jit_blocks_compiled : int;  (** blocks compiled by the jit tier *)
+  mutable checks_eliminated : int;
+      (** pass-1 count: accesses whose metadata (or full) checks a
+          dominating check covers *)
+  mutable checks_hoisted : int;
+      (** pass-2 count: accesses covered by a block-entry guard *)
+  mutable dead_bookkeeping_removed : int;
+      (** pass-3 count: deferred per-op epilogues plus control-flow
+          folds *)
+  mutable opt_side_exits : int;
+      (** block executions deoptimized to full checks by a failed
+          guard *)
 }
 
 and centry = {
@@ -176,6 +203,29 @@ and bentry = {
   mutable b_cnt_fall : int;
       (** fall-through traversal count; crossing [hot_threshold]
           triggers superblock formation *)
+  mutable b_ind : bentry option;
+      (** 1-entry indirect-target slot of a [Jalr]-ended block: the
+          predicted successor, epoch-validated like the direct links
+          but ticket-rechecked on every traversal (the target comes
+          from a live register) *)
+  mutable b_ind_epoch : int;
+  mutable b_jit : jit option;
+      (** compiled execution plan, built lazily on first [Dispatch_jit]
+          entry *)
+}
+
+(** A compiled block plan: the {!Ir} optimization results plus folded
+    static control-flow capabilities ([Cheriot_core.Capability.null],
+    compared physically, marks a fold not taken). *)
+and jit = {
+  j_chk : Ir.chk array;  (** per-instruction residual access checks *)
+  j_guards : Ir.guard array;  (** block-entry hoisted checks *)
+  j_br : Cheriot_core.Capability.t array;
+      (** folded taken-target PCC per in-bounds direct [Branch] *)
+  j_jal_target : Cheriot_core.Capability.t;  (** folded final-[Jal] target *)
+  j_link_on : Cheriot_core.Capability.t;
+      (** its link sentry when [mie] is set… *)
+  j_link_off : Cheriot_core.Capability.t;  (** …and when it is clear *)
 }
 
 val create : ?mode:mode -> ?load_filter:bool -> Cheriot_mem.Bus.t -> t
@@ -230,7 +280,18 @@ val step_chain : t -> result
     superblocks — so one round retires up to [round_cap] (128)
     instructions across many blocks, all recorded in the ring.  Edge
     instructions cannot change the interrupt-delivery predicate, so
-    checking only between rounds stays exactly per-step equivalent. *)
+    checking only between rounds stays exactly per-step equivalent
+    (a completed [Jalr] may have changed the posture through a sentry,
+    so its edge re-checks the predicate before chaining). *)
+
+val step_jit : t -> result
+(** Like {!step_chain}, but for the jit tier: each block entered is
+    (lazily) compiled through {!Ir.optimize}, its block-entry guards
+    are evaluated (a failure counts an opt side exit), and chained
+    transfers carry the [mark_jit] / [mark_opt_side_exit] ring marks.
+    Execution itself follows the fully-checked generic path — the
+    recording walk is the observational twin of the merged jit
+    executor used by {!run}. *)
 
 val max_block_len : int
 (** Upper bound on instructions per translated block (16). *)
@@ -250,6 +311,14 @@ val mark_side_exit : int
 (** [block_marks] value on a taken interior branch that side-exited a
     superblock. *)
 
+val mark_jit : int
+(** [block_marks] value on the first instruction after a chained
+    transfer under the jit tier. *)
+
+val mark_opt_side_exit : int
+(** [block_marks] value on the first instruction of a jit block
+    execution whose entry guard failed (deoptimized to full checks). *)
+
 val run : ?fuel:int -> ?fast:bool -> ?dispatch:dispatch -> t -> result * int
 (** Step until halt/double-fault/waiting or [fuel] (default 10M)
     instructions; returns the final result and instructions retired.
@@ -257,7 +326,8 @@ val run : ?fuel:int -> ?fast:bool -> ?dispatch:dispatch -> t -> result * int
     selects the execution machinery (default [Dispatch_ref]; the legacy
     [~fast:true] is [Dispatch_cached]).  [Dispatch_block] runs the
     batched block loop ([Dispatch_chain] additionally follows chained
-    edges within a round): fuel accounting is identical — each retired
+    edges within a round; [Dispatch_jit] also executes each block under
+    its compiled plan): fuel accounting is identical — each retired
     instruction, delivered interrupt or trap costs one unit, and a
     block (or chained round) is cut when the remaining fuel runs out
     inside it, so chunked runs resume exactly where a per-step run
@@ -280,6 +350,15 @@ type block_stats = {
   chain_unlinks : int;  (** stale links observed at traversal time *)
   superblocks_formed : int;
   side_exits : int;  (** taken interior branches of superblocks *)
+  jit_blocks_compiled : int;
+  checks_eliminated : int;
+      (** pass 1: accesses with a dominating check, run reduced *)
+  checks_hoisted : int;
+      (** pass 2: accesses covered by a block-entry guard *)
+  dead_bookkeeping_removed : int;
+      (** pass 3: deferred per-op epilogues, plus control-flow folds *)
+  opt_side_exits : int;
+      (** block executions deoptimized by a failed entry guard *)
 }
 
 val block_stats : t -> block_stats

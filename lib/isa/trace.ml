@@ -28,6 +28,9 @@ let pp_result fmt = function
 let pp_mark fmt m =
   if m = Machine.mark_chained then Format.fprintf fmt "  [chain]"
   else if m = Machine.mark_side_exit then Format.fprintf fmt "  [side-exit]"
+  else if m = Machine.mark_jit then Format.fprintf fmt "  [jit]"
+  else if m = Machine.mark_opt_side_exit then
+    Format.fprintf fmt "  [opt-side-exit]"
 
 let pp_entry fmt e =
   (match e.tr_insn with
@@ -73,10 +76,11 @@ let run ?(fuel = 1_000_000) ?(dispatch = Machine.Dispatch_ref) m ~f =
         end
       in
       go 0
-  | Machine.Dispatch_block | Machine.Dispatch_chain ->
+  | Machine.Dispatch_block | Machine.Dispatch_chain | Machine.Dispatch_jit ->
       let round =
         match dispatch with
         | Machine.Dispatch_chain -> Machine.step_chain
+        | Machine.Dispatch_jit -> Machine.step_jit
         | _ -> Machine.step_block
       in
       let rec go i =

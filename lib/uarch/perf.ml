@@ -1,7 +1,7 @@
 module Machine = Cheriot_isa.Machine
 module Decode_cache = Cheriot_isa.Decode_cache
 
-type dispatch = Reference | Cached | Block | Chain
+type dispatch = Reference | Cached | Block | Chain | Jit
 
 type stats = {
   cycles : int;
@@ -113,7 +113,7 @@ let step t =
       | Machine.Step_double_fault ->
           charge t t.machine.Machine.last_event);
       r
-  | Block | Chain ->
+  | Block | Chain | Jit ->
       let m = t.machine in
       (* Exactness guard: charging advances [mcycle] per instruction,
          so with interrupts enabled and the timer armed a comparator
@@ -130,8 +130,10 @@ let step t =
       end
       else begin
         let r =
-          if t.dispatch = Chain then Machine.step_chain m
-          else Machine.step_block m
+          match t.dispatch with
+          | Jit -> Machine.step_jit m
+          | Chain -> Machine.step_chain m
+          | _ -> Machine.step_block m
         in
         (* A round ending in [Step_waiting] retired its instructions
            (if any) and then hit WFI: charge the retirements, then one

@@ -8,13 +8,15 @@
     translated basic blocks ([Machine.step_block]), charging each
     retired instruction from the block's event ring; [Chain]
     additionally follows chained block-to-block links and superblocks
-    ([Machine.step_chain]).  The block/chain paths fall back to
-    per-step cached dispatch whenever interrupts are enabled with the
-    timer armed, where a mid-block [mcycle] comparator crossing could
-    otherwise be observable.  All four produce identical architectural
-    traces and cycle counts — simulator-speed optimizations, invisible
-    to the modelled hardware. *)
-type dispatch = Reference | Cached | Block | Chain
+    ([Machine.step_chain]); [Jit] runs chained rounds with each block
+    compiled to an optimized check plan ([Machine.step_jit]).  The
+    block/chain/jit paths fall back to per-step cached dispatch
+    whenever interrupts are enabled with the timer armed, where a
+    mid-block [mcycle] comparator crossing could otherwise be
+    observable.  All five produce identical architectural traces and
+    cycle counts — simulator-speed optimizations, invisible to the
+    modelled hardware. *)
+type dispatch = Reference | Cached | Block | Chain | Jit
 
 type stats = {
   cycles : int;

@@ -319,6 +319,7 @@ let test_superblock_side_exit () =
   let _, n_ref = Machine.run ~dispatch:Machine.Dispatch_ref ref_m in
   let m = mk () in
   m.Machine.hot_threshold <- 4;
+  m.Machine.hot_adaptive <- false;
   let n = run_chain m in
   Alcotest.(check int) "same retired count" n_ref n;
   Alcotest.(check int) "same minstret" ref_m.Machine.minstret
@@ -357,6 +358,199 @@ let test_trace_marks_chained_transfers () =
   Alcotest.(check bool) "chained transfers are marked" true
     (List.exists (fun e -> e.Trace.tr_mark = Machine.mark_chained) chn_t)
 
+(* --- the trace-jit tier ------------------------------------------------- *)
+
+let run_jit m =
+  match Machine.run ~dispatch:Machine.Dispatch_jit m with
+  | Machine.Step_halted, n -> n
+  | r, _ -> Alcotest.failf "did not halt: %s" (result_name r)
+
+(* a 16-byte readable/writable window inside the code SRAM, away from
+   the program words *)
+let data_cap ?(len = 16) () =
+  Capability.set_bounds
+    (Capability.with_address Capability.root_mem_rw (code_base + 0x200))
+    ~length:len ~exact:false
+
+(* Pass-1 regression: a dominating access lets the optimizer eliminate
+   the second identical access's checks, but an in-block [Csetbounds]
+   redefines the register — the SSA version moves, so the access after
+   it must run the full check sequence and trap exactly where the
+   reference interpreter traps.  An optimizer that keyed facts to the
+   register {e name} instead of the version would serve the stale
+   "checked" fact and miss the trap. *)
+let test_jit_csetbounds_kills_facts () =
+  let program =
+    Insn.
+      [
+        Load { signed = true; width = W; rd = 1; rs1 = 4; off = 0 };
+        Load { signed = true; width = W; rd = 2; rs1 = 4; off = 0 };
+        (* shrink r4 to 8 bytes: the next access is now out of bounds *)
+        Csetboundsimm (4, 4, 8);
+        Load { signed = true; width = W; rd = 3; rs1 = 4; off = 64 };
+        Ebreak;
+      ]
+  in
+  let mk () =
+    let m, _ = boot (List.map Encode.encode program) in
+    Machine.set_reg m 4 (data_cap ());
+    m
+  in
+  let ref_m = mk () in
+  let r_ref, n_ref = Machine.run ~dispatch:Machine.Dispatch_ref ref_m in
+  let m = mk () in
+  let r_jit, n_jit = Machine.run ~dispatch:Machine.Dispatch_jit m in
+  Alcotest.(check string)
+    "both runs end the same way" (result_name r_ref) (result_name r_jit);
+  Alcotest.(check int) "same retired count" n_ref n_jit;
+  Alcotest.(check int) "same minstret" ref_m.Machine.minstret
+    m.Machine.minstret;
+  Alcotest.(check string) "same state hash" (Machine.state_hash ref_m)
+    (Machine.state_hash m);
+  let s = Machine.block_stats m in
+  Alcotest.(check bool) "the duplicate access was eliminated" true
+    (s.Machine.checks_eliminated >= 1)
+
+(* Pass-2 regression: a hot loop whose two static-offset loads are
+   covered by one hoisted entry guard, patched {e mid-trace} — after the
+   superblock and its plan exist, a bus store rewrites one load of the
+   loop body.  The snoop must kill the block and its plan together; the
+   remaining iterations run the patched semantics, bit-identical to a
+   reference machine patched at the same instruction boundary. *)
+let test_jit_hoisted_guard_patch_midtrace () =
+  let program =
+    Insn.
+      [
+        Load { signed = true; width = W; rd = 1; rs1 = 4; off = 0 };
+        Load { signed = true; width = W; rd = 2; rs1 = 4; off = 8 };
+        Op_imm (Add, 3, 3, 1);
+        Branch (Eq, 3, 6, 8);
+        (* fall-dominated exit: the backedge below joins the superblock *)
+        Jal (0, -16);
+        Ebreak;
+      ]
+  in
+  let mk () =
+    let m, _ = boot (List.map Encode.encode program) in
+    Machine.set_reg m 4 (data_cap ());
+    Machine.set_reg_int m 6 20;
+    m
+  in
+  let ref_m = mk () in
+  let m = mk () in
+  m.Machine.hot_threshold <- 2;
+  m.Machine.hot_adaptive <- false;
+  (* run both machines 30 instructions in: the loop is hot, the
+     superblock formed and the guarded plan compiled and executing *)
+  let r_ref0, n_ref0 = Machine.run ~fuel:30 ~dispatch:Machine.Dispatch_ref ref_m in
+  let r_jit0, n_jit0 = Machine.run ~fuel:30 ~dispatch:Machine.Dispatch_jit m in
+  Alcotest.(check bool)
+    "both mid-trace stops agree" true
+    ((r_ref0, n_ref0) = (r_jit0, n_jit0));
+  let s_mid = Machine.block_stats m in
+  Alcotest.(check bool) "the loads were hoisted behind a guard" true
+    (s_mid.Machine.checks_hoisted >= 2);
+  Alcotest.(check bool) "the loop grew a superblock" true
+    (s_mid.Machine.superblocks_formed >= 1);
+  (* patch the second load into an immediate add, identically on both *)
+  let patch = Encode.encode (Insn.Op_imm (Add, 2, 2, 16)) in
+  Bus.write ref_m.Machine.bus ~width:4 (code_base + 4) patch;
+  Bus.write m.Machine.bus ~width:4 (code_base + 4) patch;
+  let r_ref, n_ref = Machine.run ~dispatch:Machine.Dispatch_ref ref_m in
+  let r_jit, n_jit = Machine.run ~dispatch:Machine.Dispatch_jit m in
+  Alcotest.(check bool) "both halt" true
+    (r_ref = Machine.Step_halted && r_jit = Machine.Step_halted);
+  Alcotest.(check int) "same retired count after the patch" n_ref n_jit;
+  Alcotest.(check string) "same state hash after the patch"
+    (Machine.state_hash ref_m) (Machine.state_hash m);
+  let s = Machine.block_stats m in
+  Alcotest.(check bool) "the patch invalidated the planned block" true
+    (s.Machine.block_invalidations > 0)
+
+(* Counter accounting parity: the recording rounds ([step_jit], driving
+   the traced/perf paths) and the merged executor ([Machine.run]) must
+   agree that the optimizer engaged — both compile the same plans. *)
+let test_jit_counters_on_both_paths () =
+  let mk () =
+    let m, _ = boot (List.map Encode.encode chained_loop) in
+    Machine.set_reg_int m 6 4;
+    m
+  in
+  let m = mk () in
+  let _ = run_jit m in
+  let s = Machine.block_stats m in
+  Alcotest.(check bool) "merged executor compiled plans" true
+    (s.Machine.jit_blocks_compiled > 0);
+  Alcotest.(check bool) "bookkeeping removal accounted" true
+    (s.Machine.dead_bookkeeping_removed > 0);
+  let m2 = mk () in
+  let rec drive () =
+    match Machine.step_jit m2 with
+    | Machine.Step_ok | Machine.Step_trap _ -> drive ()
+    | _ -> ()
+  in
+  drive ();
+  let s2 = Machine.block_stats m2 in
+  Alcotest.(check bool) "recording rounds compiled plans too" true
+    (s2.Machine.jit_blocks_compiled > 0)
+
+(* [Trace.run ~dispatch:Dispatch_jit] renders the reference stream with
+   chained transfers marked [jit]; a block whose entry guard fails is
+   marked [opt-side-exit] and deoptimizes to full checks, so the
+   faulting access (here: a hoisted load past the end of a short
+   region) traps at exactly the reference point. *)
+let test_trace_marks_jit () =
+  let collect ?len dispatch =
+    let m, _ = boot (List.map Encode.encode chained_loop) in
+    Machine.set_reg_int m 6 4;
+    (match len with Some l -> Machine.set_reg m 4 (data_cap ~len:l ()) | None -> ());
+    let entries = ref [] in
+    let _ =
+      Trace.run m ~fuel:10_000 ~dispatch ~f:(fun e -> entries := e :: !entries)
+    in
+    (m, List.rev !entries)
+  in
+  let ref_m, ref_t = collect Machine.Dispatch_ref in
+  let jit_m, jit_t = collect Machine.Dispatch_jit in
+  Alcotest.(check string) "traced runs agree on state"
+    (Machine.state_hash ref_m) (Machine.state_hash jit_m);
+  Alcotest.(check int) "same trace length" (List.length ref_t)
+    (List.length jit_t);
+  List.iter2
+    (fun r c ->
+      Alcotest.(check int) "same traced pc" r.Trace.tr_pc c.Trace.tr_pc)
+    ref_t jit_t;
+  Alcotest.(check bool) "jit transfers are marked" true
+    (List.exists (fun e -> e.Trace.tr_mark = Machine.mark_jit) jit_t);
+  (* guard-failure rendering: two guarded loads whose union span
+     overruns an 8-byte region — the plan deopts ([opt-side-exit]) and
+     the second load traps exactly as on the reference path *)
+  let guarded =
+    Insn.
+      [
+        Load { signed = true; width = W; rd = 1; rs1 = 4; off = 0 };
+        Load { signed = true; width = W; rd = 2; rs1 = 4; off = 8 };
+        Ebreak;
+      ]
+  in
+  let collect_g dispatch =
+    let m, _ = boot (List.map Encode.encode guarded) in
+    Machine.set_reg m 4 (data_cap ~len:8 ());
+    let entries = ref [] in
+    let r, _ =
+      Trace.run m ~fuel:100 ~dispatch ~f:(fun e -> entries := e :: !entries)
+    in
+    (m, r, List.rev !entries)
+  in
+  let grm, gr, _ = collect_g Machine.Dispatch_ref in
+  let gjm, gj, gjt = collect_g Machine.Dispatch_jit in
+  Alcotest.(check string) "guard failure ends both runs identically"
+    (result_name gr) (result_name gj);
+  Alcotest.(check string) "guard failure reaches the reference state"
+    (Machine.state_hash grm) (Machine.state_hash gjm);
+  Alcotest.(check bool) "the deoptimized block is marked" true
+    (List.exists (fun e -> e.Trace.tr_mark = Machine.mark_opt_side_exit) gjt)
+
 let suite =
   [
     Alcotest.test_case "block formation and stats accounting" `Quick
@@ -378,4 +572,12 @@ let suite =
       test_superblock_side_exit;
     Alcotest.test_case "traced chain runs mark chained transfers" `Quick
       test_trace_marks_chained_transfers;
+    Alcotest.test_case "in-block csetbounds kills eliminated-check facts"
+      `Quick test_jit_csetbounds_kills_facts;
+    Alcotest.test_case "hoisted guard survives a mid-trace code patch" `Quick
+      test_jit_hoisted_guard_patch_midtrace;
+    Alcotest.test_case "jit counters account on merged and recording paths"
+      `Quick test_jit_counters_on_both_paths;
+    Alcotest.test_case "traced jit runs mark transfers and deoptimizations"
+      `Quick test_trace_marks_jit;
   ]

@@ -11,8 +11,9 @@
    boundaries and bookkeeping deferred across simple instructions; the
    chain path ([Dispatch_chain]) additionally follows direct
    block-to-block links and re-translates hot fall-dominated paths
-   into superblocks.  All four must be observationally
-   indistinguishable.
+   into superblocks; the jit path ([Dispatch_jit]) runs the chained
+   rounds with per-block optimized check plans from [Ir.optimize].
+   All five must be observationally indistinguishable.
 
    The lockstep drivers, interrupt-injection schedules and the
    state-comparison predicate live in [Cheriot_proptest]
@@ -26,7 +27,7 @@ open Cheriot_isa
 module Props = Cheriot_proptest.Props
 
 (* The same oracle on a deterministic workload with a long trace:
-   coremark's ISA program on all four dispatch paths, equal retired
+   coremark's ISA program on all five dispatch paths, equal retired
    counts and state hashes. *)
 let test_coremark_lockstep () =
   let module Coremark = Cheriot_workloads.Coremark in
@@ -37,7 +38,9 @@ let test_coremark_lockstep () =
         (Core_model.config ~cheri:true ~load_filter:true Core_model.Ibex)
     in
     (match hot_threshold with
-    | Some t -> m.Machine.hot_threshold <- t
+    | Some t ->
+        m.Machine.hot_threshold <- t;
+        m.Machine.hot_adaptive <- false
     | None -> ());
     let _, insns = Machine.run ~dispatch m in
     (insns, Machine.state_hash m)
@@ -46,16 +49,23 @@ let test_coremark_lockstep () =
   let fast_insns, fast_hash = run Machine.Dispatch_cached in
   let blk_insns, blk_hash = run Machine.Dispatch_block in
   let chn_insns, chn_hash = run Machine.Dispatch_chain in
+  let jit_insns, jit_hash = run Machine.Dispatch_jit in
   (* an aggressive threshold forms superblocks all over the hot loops *)
   let sb_insns, sb_hash = run ~hot_threshold:2 Machine.Dispatch_chain in
+  let jsb_insns, jsb_hash = run ~hot_threshold:2 Machine.Dispatch_jit in
   Alcotest.(check int) "retired instructions (cached)" ref_insns fast_insns;
   Alcotest.(check string) "state hash (cached)" ref_hash fast_hash;
   Alcotest.(check int) "retired instructions (block)" ref_insns blk_insns;
   Alcotest.(check string) "state hash (block)" ref_hash blk_hash;
   Alcotest.(check int) "retired instructions (chain)" ref_insns chn_insns;
   Alcotest.(check string) "state hash (chain)" ref_hash chn_hash;
+  Alcotest.(check int) "retired instructions (jit)" ref_insns jit_insns;
+  Alcotest.(check string) "state hash (jit)" ref_hash jit_hash;
   Alcotest.(check int) "retired instructions (superblocks)" ref_insns sb_insns;
-  Alcotest.(check string) "state hash (superblocks)" ref_hash sb_hash
+  Alcotest.(check string) "state hash (superblocks)" ref_hash sb_hash;
+  Alcotest.(check int)
+    "retired instructions (jit superblocks)" ref_insns jsb_insns;
+  Alcotest.(check string) "state hash (jit superblocks)" ref_hash jsb_hash
 
 let suite =
   List.map QCheck_alcotest.to_alcotest Props.tests
