@@ -6,7 +6,10 @@
 # gate (the differential suite in isolation — it fails printing the
 # qcheck fuzz seed and shrunk program on any state-hash mismatch), the
 # static firmware audit (`cheriot_audit all`: shipped images audit
-# clean, the bad-image corpus is fully detected), and reduced-workload
+# clean, the bad-image corpus is fully detected), the plan-soundness
+# gate (`cheriot_audit plans`: every jit check plan on the shipped
+# images proves equivalent to the all-full plan, every seeded optimizer
+# mutant is refuted), and reduced-workload
 # runs of the decode-cache, block-exec, chain-exec and jit-exec
 # benchmarks, which exit non-zero if any dispatch path diverges on any
 # workload (jit_exec additionally fails if the optimizer never
@@ -14,7 +17,7 @@
 # divergence gates, not performance claims — use `make bench` for real
 # numbers.
 
-.PHONY: all build lint test parity prop-long audit bench bench-smoke ci clean
+.PHONY: all build lint test parity prop-long audit verify-plans bench bench-smoke ci clean
 
 all: build
 
@@ -36,6 +39,13 @@ test: build
 audit: build
 	dune exec bin/cheriot_audit.exe -- all
 
+# Plan-soundness gate: run every shipped image under the jit tier
+# (forced hot), statically prove every compiled check plan equivalent
+# to the all-full plan, and refute every seeded optimizer mutant with
+# exactly its expected plan-* rule.  Prints the JSON report.
+verify-plans: build
+	dune exec bin/cheriot_audit.exe -- plans
+
 # Dispatch parity: every dispatch path (ref / cached / block / chain /
 # jit) must be observationally identical on random streams, on generated
 # multi-compartment scenarios (switcher cross-calls, allocator churn,
@@ -45,6 +55,7 @@ audit: build
 parity: build
 	dune exec test/test_cheriot.exe -- test differential
 	dune exec test/test_cheriot.exe -- test proptest
+	dune exec bin/cheriot_audit.exe -- plans
 
 # The same property family with 20x the iteration counts (PROP_ITERS
 # multiplies every qcheck ~count in lib/proptest and the harness-scaled
@@ -61,6 +72,7 @@ bench: build
 	dune exec bench/main.exe -- chain_exec
 	dune exec bench/main.exe -- jit_exec
 	dune exec bench/main.exe -- audit
+	dune exec bench/main.exe -- planverify
 
 bench-smoke: build
 	dune exec bench/main.exe -- decode_cache smoke
@@ -68,8 +80,9 @@ bench-smoke: build
 	dune exec bench/main.exe -- chain_exec smoke
 	dune exec bench/main.exe -- jit_exec smoke
 	dune exec bench/main.exe -- audit smoke
+	dune exec bench/main.exe -- planverify smoke
 
-ci: build lint test parity audit bench-smoke
+ci: build lint test parity audit verify-plans bench-smoke
 
 clean:
 	dune clean

@@ -944,8 +944,10 @@ let jit_exec ?(smoke = false) () =
             \"superblocks_formed\": %d, \"side_exits\": %d,\n\
            \             \"jit_blocks_compiled\": %d, \"checks_eliminated\": \
             %d, \"checks_hoisted\": %d,\n\
-           \             \"dead_bookkeeping_removed\": %d, \
-            \"opt_side_exits\": %d},\n\
+           \             \"checks_hoisted_nonentry\": %d, \
+            \"dead_bookkeeping_removed\": %d,\n\
+           \             \"opt_side_exits\": %d, \"jit_plans_rejected\": \
+            %d},\n\
            \     \"speedup_vs_chain\": %.3f, \"speedup_vs_block\": %.3f, \
             \"speedup_vs_reference\": %.3f, \"state_match\": %b}%s\n"
            name r.pt_insns r.pt_seconds r.pt_ips c.pt_insns c.pt_seconds
@@ -957,7 +959,9 @@ let jit_exec ?(smoke = false) () =
            js.Machine.chain_unlinks js.Machine.superblocks_formed
            js.Machine.side_exits js.Machine.jit_blocks_compiled
            js.Machine.checks_eliminated js.Machine.checks_hoisted
+           js.Machine.checks_hoisted_nonentry
            js.Machine.dead_bookkeeping_removed js.Machine.opt_side_exits
+           js.Machine.jit_plans_rejected
            (j.pt_ips /. ch.pt_ips)
            (j.pt_ips /. b.pt_ips)
            (j.pt_ips /. r.pt_ips)
@@ -1044,6 +1048,81 @@ let audit_bench ?(smoke = false) () =
     exit 1
   end
 
+(* --- plan-soundness verifier timing --------------------------------------- *)
+
+(* Times [Planverify.verify_plan] over every plan the jit tier compiles
+   from the shipped images (forced hot so every reachable block
+   compiles), so verifier slowdowns show up in the perf trajectory.
+   Doubles as a gate: an image compiling zero plans, or any plan proving
+   Unsound, fails the run.  Writes BENCH_planverify*.json. *)
+let planverify_bench ?(smoke = false) () =
+  section
+    (if smoke then "planverify -- smoke (plan-soundness verifier timing)"
+     else "planverify -- plan-soundness verifier timing");
+  let runs = if smoke then 2 else 5 in
+  Format.printf "%-12s %8s %12s %10s@." "image" "plans" "seconds" "unsound";
+  let rows =
+    List.map
+      (fun (name, build) ->
+        let t = build () in
+        let m = t.Cheriot_rtos.Loader.machine in
+        m.Machine.hot_threshold <- 2;
+        m.Machine.hot_adaptive <- false;
+        let plans = Cheriot_analysis.Planverify.collect m in
+        let unsound =
+          List.length
+            (List.filter
+               (fun p ->
+                 Cheriot_analysis.Planverify.verify_plan p
+                 <> Cheriot_analysis.Planverify.Sound)
+               plans)
+        in
+        let best = ref infinity in
+        for _ = 1 to runs do
+          let t0 = Sys.time () in
+          List.iter
+            (fun p -> ignore (Cheriot_analysis.Planverify.verify_plan p))
+            plans;
+          let dt = Sys.time () -. t0 in
+          if dt < !best then best := dt
+        done;
+        Format.printf "%-12s %8d %12.6f %10d@." name (List.length plans) !best
+          unsound;
+        (name, List.length plans, !best, unsound))
+      Cheriot_workloads.Firmware.shipped
+  in
+  let total = List.fold_left (fun a (_, _, s, _) -> a +. s) 0. rows in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"bench\": \"planverify\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"smoke\": %b,\n  \"images\": [\n" smoke);
+  List.iteri
+    (fun i (name, n, secs, unsound) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"plans\": %d, \"seconds\": %.6f, \"unsound\": \
+            %d}%s\n"
+           name n secs unsound
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf
+    (Printf.sprintf "  ],\n  \"total_seconds\": %.6f\n}\n" total);
+  let file =
+    if smoke then "BENCH_planverify_smoke.json" else "BENCH_planverify.json"
+  in
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." file;
+  if List.exists (fun (_, n, _, _) -> n = 0) rows then begin
+    prerr_endline "planverify: an image compiled no plans";
+    exit 1
+  end;
+  if List.exists (fun (_, _, _, u) -> u > 0) rows then begin
+    prerr_endline "planverify: unsound plans on shipped images";
+    exit 1
+  end
+
 (* --- driver -------------------------------------------------------------- *)
 
 let all () =
@@ -1060,6 +1139,7 @@ let all () =
   chain_exec ();
   jit_exec ();
   audit_bench ();
+  planverify_bench ();
   micro ()
 
 let () =
@@ -1083,11 +1163,13 @@ let () =
   | [| _; "jit_exec"; "smoke" |] -> jit_exec ~smoke:true ()
   | [| _; "audit" |] -> audit_bench ()
   | [| _; "audit"; "smoke" |] -> audit_bench ~smoke:true ()
+  | [| _; "planverify" |] -> planverify_bench ()
+  | [| _; "planverify"; "smoke" |] -> planverify_bench ~smoke:true ()
   | [| _; "micro" |] -> micro ()
   | _ ->
       prerr_endline
         "usage: main.exe \
          [table1|table2|table3|table4|fig5|fig6|iot|ablations|decode_cache \
          [smoke]|block_exec [smoke]|chain_exec [smoke]|jit_exec \
-         [smoke]|audit [smoke]|micro]";
+         [smoke]|audit [smoke]|planverify [smoke]|micro]";
       exit 2

@@ -7,10 +7,15 @@
      corpus           audit the deliberately-bad corpus; each image must
                       yield findings for exactly its expected rule
      all              both of the above (the `make audit` CI gate)
-     rules            list the rule catalogue
+     plans [NAME]     run each shipped image under the jit tier (or
+                      --dispatch block|chain|jit), statically verify
+                      every compiled check plan sound, then refute the
+                      seeded optimizer mutants (the `make verify-plans`
+                      CI gate); same JSON report shape
+     rules            list the rule catalogue (image + plan rules)
 
-   All auditing subcommands accept `--rule ID` to restrict the report
-   (shipped) or the corpus selection to one rule.
+   All image-auditing subcommands accept `--rule ID` to restrict the
+   report (shipped) or the corpus selection to one rule.
 
    Exit codes: 0 clean; 1 findings / corpus failure; 2 analysis error,
    unknown image or unknown rule.
@@ -63,9 +68,32 @@ let () =
         const (fun rule -> Driver.all ~images:Firmware.shipped ?rule ())
         $ rule_arg)
   in
+  let plans =
+    let dispatch_arg =
+      Arg.(
+        value
+        & opt
+            (enum
+               [
+                 ("block", Cheriot_isa.Machine.Dispatch_block);
+                 ("chain", Cheriot_isa.Machine.Dispatch_chain);
+                 ("jit", Cheriot_isa.Machine.Dispatch_jit);
+               ])
+            Cheriot_isa.Machine.Dispatch_jit
+        & info [ "dispatch" ] ~docv:"TIER"
+            ~doc:"Translation tier to collect plans under (default jit).")
+    in
+    Cmd.v
+      (Cmd.info "plans"
+         ~doc:"verify every compiled check plan sound; refute the mutants")
+      Term.(
+        const (fun name dispatch ->
+            Driver.plans_all ~images:Firmware.shipped ?name ~dispatch ())
+        $ name_arg $ dispatch_arg)
+  in
   let rules =
     Cmd.v
       (Cmd.info "rules" ~doc:"list the rule catalogue")
       Term.(const Driver.rules $ const ())
   in
-  exit (Cmd.eval' (Cmd.group info [ shipped; corpus; all; rules ]))
+  exit (Cmd.eval' (Cmd.group info [ shipped; corpus; all; plans; rules ]))

@@ -12,10 +12,15 @@
    emission order. *)
 
 module Loader = Cheriot_rtos.Loader
+module Machine = Cheriot_isa.Machine
+module Asm = Cheriot_isa.Asm
 
 type images = (string * (unit -> Loader.t)) list
 
-let known_rule rule = List.mem_assoc rule Rules.catalogue
+(* `--rule` accepts plan ids too, so `rules` output is uniformly usable
+   as filter arguments across subcommands. *)
+let known_rule rule =
+  List.mem_assoc rule Rules.catalogue || List.mem_assoc rule Rules.plan_catalogue
 
 let filter_rule rule fs =
   match rule with
@@ -127,4 +132,123 @@ let all ~images ?rule () =
 
 let rules () =
   List.iter (fun (id, doc) -> Printf.printf "%-26s %s\n" id doc) Rules.catalogue;
+  List.iter (fun (id, doc) -> Printf.printf "%-26s %s\n" id doc)
+    Rules.plan_catalogue;
   0
+
+(* --- plan-soundness gate (Planverify, DESIGN.md §14) -------------------- *)
+
+(* A counterexample is pinned to the compartment whose code region holds
+   the block; switcher/trap-stub blocks report as "system". *)
+let plan_compartment (t : Loader.t) (p : Planverify.plan) =
+  let pc = p.Planverify.p_block.Machine.b_start in
+  match
+    List.find_opt
+      (fun ((_, b) : string * Loader.built) ->
+        let o = b.Loader.image.Asm.origin in
+        pc >= o && pc < o + Asm.bytes_size b.Loader.image)
+      t.Loader.compartments
+  with
+  | Some (name, _) -> name
+  | None -> "system"
+
+(* [plans ~images ?name ?dispatch ?fuel ()] boots each shipped image,
+   runs it under [dispatch] (default the jit tier, forced hot so every
+   reachable block compiles), collects every emitted plan and verifies
+   it.  Same report shape and exit-code contract as [shipped]. *)
+let plans ~(images : images) ?name ?dispatch ?fuel () =
+  let selected =
+    match name with
+    | None -> Ok images
+    | Some n -> (
+        match List.assoc_opt n images with
+        | Some build -> Ok [ (n, build) ]
+        | None -> Error (Printf.sprintf "unknown image %S" n))
+  in
+  match selected with
+  | Error e ->
+      Printf.eprintf "plans: %s\n%!" e;
+      2
+  | Ok imgs -> (
+      let verified = ref 0 in
+      let audit (n, build) =
+        let t = build () in
+        let m = t.Loader.machine in
+        m.Machine.hot_threshold <- 2;
+        m.Machine.hot_adaptive <- false;
+        let ps = Planverify.collect ?dispatch ?fuel m in
+        verified := !verified + List.length ps;
+        let findings =
+          List.filter_map
+            (fun p ->
+              match Planverify.verify_plan p with
+              | Planverify.Sound -> None
+              | Planverify.Unsound cx ->
+                  Some
+                    (Planverify.finding_of
+                       ~compartment:(plan_compartment t p) p cx))
+            ps
+        in
+        (n, Rules.sort_findings findings)
+      in
+      match List.map audit imgs with
+      | report ->
+          print_endline (Rules.report_to_json report);
+          let total =
+            List.fold_left (fun a (_, fs) -> a + List.length fs) 0 report
+          in
+          if total = 0 then begin
+            Printf.eprintf "plans: %d images, %d plans proved sound\n%!"
+              (List.length report) !verified;
+            0
+          end
+          else begin
+            Printf.eprintf "plans: %d unsound plans on shipped images\n%!"
+              total;
+            1
+          end
+      | exception e ->
+          Printf.eprintf "plans: analysis error: %s\n%!" (Printexc.to_string e);
+          2)
+
+(* [plan_mutants ()]: every seeded optimizer bug must be refuted with
+   exactly its expected plan-* rule — the corpus exactness gate for the
+   verifier itself. *)
+let plan_mutants () =
+  let check failures (e : Planmutants.entry) =
+    let cheri, insns, chks, guards, defer = e.Planmutants.pm_build () in
+    match Planverify.verify ~cheri ?defer insns chks guards with
+    | Planverify.Unsound cx when cx.Planverify.cx_rule = e.Planmutants.pm_rule ->
+        Printf.eprintf "plan-mutants: PASS %-26s -> %s\n%!"
+          e.Planmutants.pm_name cx.Planverify.cx_rule;
+        failures
+    | Planverify.Unsound cx ->
+        Printf.eprintf
+          "plan-mutants: FAIL %-26s expected %s, refuted as %s (%s)\n%!"
+          e.Planmutants.pm_name e.Planmutants.pm_rule cx.Planverify.cx_rule
+          cx.Planverify.cx_detail;
+        failures + 1
+    | Planverify.Sound ->
+        Printf.eprintf
+          "plan-mutants: FAIL %-26s expected %s, proved Sound (false \
+           negative)\n%!"
+          e.Planmutants.pm_name e.Planmutants.pm_rule;
+        failures + 1
+  in
+  match List.fold_left check 0 Planmutants.entries with
+  | 0 ->
+      Printf.eprintf "plan-mutants: %d/%d mutants refuted exactly\n%!"
+        (List.length Planmutants.entries)
+        (List.length Planmutants.entries);
+      0
+  | _ -> 1
+  | exception e ->
+      Printf.eprintf "plan-mutants: analysis error: %s\n%!"
+        (Printexc.to_string e);
+      2
+
+(* [plans_all]: shipped plans + mutants; the worst exit code wins. *)
+let plans_all ~images ?name ?dispatch ?fuel () =
+  let a = plans ~images ?name ?dispatch ?fuel () in
+  let b = plan_mutants () in
+  max a b

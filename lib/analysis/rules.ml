@@ -9,6 +9,10 @@
      tmp-*    temporal safety (heap revocation / dangling ranges)
      link-*   structural checks on the linked image (descriptors,
               imports, reserved otypes, boot register file)
+     plan-*   translation validation of jit check plans (Planverify);
+              kept in [plan_catalogue], separate from [catalogue],
+              because the audit corpus exactness gate covers the image
+              rules while the seeded-mutant suite covers the plan rules
 
    A finding pins a rule to a compartment and, for code-level rules, a
    PC.  Findings are rendered as JSON by [report_to_json]; the schema is
@@ -96,6 +100,36 @@ let catalogue =
     (link_switcher_slot, "globals slot 0 does not hold the switcher cross-call sentry");
     (link_stack_cap, "boot stack capability malformed (global, SL-less or unbounded)");
     (link_heap_layout, "heap region overlaps stacks or static data");
+  ]
+
+(* --- plan rules (Planverify, DESIGN.md §14) ----------------------------- *)
+
+let plan_meta_undominated = "plan-meta-undominated"
+let plan_bounds_uncovered = "plan-bounds-uncovered"
+let plan_align_undischarged = "plan-align-undischarged"
+let plan_guard_perms = "plan-guard-perms"
+let plan_deferral = "plan-deferral"
+let plan_rv32_weakened = "plan-rv32-weakened"
+
+let plan_catalogue =
+  [
+    ( plan_meta_undominated,
+      "check weakened without a dominating tag/seal/permission fact on the \
+       same register version" );
+    ( plan_bounds_uncovered,
+      "bounds check dropped without a covering proven range, guard span or \
+       derivation-hop cover" );
+    ( plan_align_undischarged,
+      "alignment check dropped without an alignment-compatible dominating \
+       footprint" );
+    ( plan_guard_perms,
+      "guard covers an access's footprint but lacks a permission the access \
+       requires" );
+    ( plan_deferral,
+      "bookkeeping deferred for an op whose PCC/minstret/event update is \
+       observable at a trap or side exit" );
+    ( plan_rv32_weakened,
+      "Rv32 plan weakened: DDC-authorized accesses must keep full checks" );
   ]
 
 let v ?pc ~compartment rule detail = { rule; compartment; pc; detail }

@@ -20,27 +20,12 @@
     dynamic half of each argument — "the dominating check actually ran,
     in this block execution, against the same register value".
 
-    Pass ordering (each pass only strengthens the previous one's facts):
-
-    1. {e Redundant capability-check elimination}: a dominating
-       tag/seal/perm/in-bounds check through register version (r, v)
-       covers later accesses through the same version — they keep only
-       the checks the dominator could not have established
-       ([Chk_bounds] for a different offset, [Chk_none] for the exact
-       same offset and size).
-    2. {e Bounds-check hoisting}: ≥2 accesses through one {e entry}
-       version (no def of the register anywhere before the last access)
-       with static offsets are covered by one block-entry [guard] —
-       tag/seal/perm plus a single range check over the union of their
-       footprints.  Covered accesses drop to [Chk_align].  Guard
-       failure is an {e opt side exit}: the executor falls back to the
-       fully-checked plan for that block execution, so the faulting
-       access (if any) traps at exactly the per-step point with the
-       per-step cause.
-    3. {e Dead bookkeeping removal} is accounted here but implemented by
-       the executor's deferred window: per-op PCC/minstret/event updates
-       of deferrable ops are elided and replayed in one batch at sync
-       points ([dead_bookkeeping] counts the elided epilogues). *)
+    The three passes — redundant-check elimination, guard hoisting,
+    dead-bookkeeping removal — are specified once, in DESIGN.md §13
+    (pass ordering, residual-check semantics, deopt contract); the doc
+    comments here only state what each binding contributes.  The
+    soundness argument for every plan the optimizer emits is DESIGN.md
+    §14, mechanized by [Planverify] in [lib/analysis]. *)
 
 (** How much of the architectural check sequence
     (tag → seal → permissions → bounds → alignment, the order of
@@ -60,11 +45,13 @@ type chk =
 (** A block-entry guard hoisted by pass 2: one metadata + range check
     standing for every access it covers.  Offsets are relative to the
     guarded register's (entry-version) address; [g_lo, g_hi) is the
-    union of the covered footprints. *)
+    union of the covered footprints plus, for accesses reached through
+    derived register versions, every intermediate address of the
+    derivation chain (see [optimize]). *)
 type guard = {
   g_rs1 : int;  (** guarded register (its block-entry version) *)
-  g_lo : int;  (** least static offset of a covered access *)
-  g_hi : int;  (** greatest static offset + size (exclusive) *)
+  g_lo : int;  (** least covered offset (footprints and hop points) *)
+  g_hi : int;  (** greatest covered offset + size (exclusive) *)
   g_need_ld : bool;  (** some covered access loads *)
   g_need_sd : bool;  (** some covered access stores *)
   g_need_mc : bool;  (** some covered access moves a capability *)
@@ -74,6 +61,10 @@ type stats = {
   eliminated : int;
       (** accesses whose metadata (or full) checks pass 1 removed *)
   hoisted : int;  (** accesses covered by a pass-2 guard *)
+  hoisted_nonentry : int;
+      (** the subset of [hoisted] reached through a {e derived} register
+          version (a [Cmove]/[Cincaddrimm] chain from the entry value)
+          rather than through the entry version itself *)
   dead_bookkeeping : int;
       (** per-op PCC/minstret/event epilogues elided by the deferred
           window (pass 3, accounted at compile time) *)
@@ -212,7 +203,14 @@ let optimize ~cheri (insns : Insn.t array) =
     (* Rv32 accesses are authorized by the immutable DDC, not the cited
        register, so register-version reasoning does not apply; the
        baseline keeps full checks (they are two compares anyway). *)
-    (chks, [||], { eliminated = 0; hoisted = 0; dead_bookkeeping = !dead })
+    ( chks,
+      [||],
+      {
+        eliminated = 0;
+        hoisted = 0;
+        hoisted_nonentry = 0;
+        dead_bookkeeping = !dead;
+      } )
   else begin
     let facts =
       Array.init 16 (fun _ ->
@@ -226,14 +224,25 @@ let optimize ~cheri (insns : Insn.t array) =
           })
     in
     let eliminated = ref 0 in
-    (* Per-access use records for pass 2: (index, reg, version, access). *)
+    (* Static-offset origin of each register's current value, for pass
+       2: [Some (root, delta, hops)] means the value is provably
+       [entry(root) + delta], derived through [Cmove]/[Cincaddrimm]
+       steps whose cumulative deltas are [hops] (most recent first).
+       A guard on [root] can vouch for such a value only if it also
+       proves every hop address in bounds — [Capability.incr_address]
+       clears the tag at an unrepresentable intermediate address, and
+       in-bounds ⇒ representable is the codec property the test suite
+       pins.  Any other def loses the origin. *)
+    let origin = Array.init 16 (fun r -> if r = 0 then None else Some (r, 0, [])) in
+    (* Per-access use records for pass 2:
+       (index, origin-at-access, access). *)
     let uses = ref [] in
     (* --- pass 1: dominating-check elimination --- *)
     for i = 0 to n - 1 do
       (match access_of insns.(i) with
       | Some a ->
           let f = facts.(a.a_rs1) in
-          uses := (i, a.a_rs1, f.ver, a) :: !uses;
+          uses := (i, origin.(a.a_rs1), a) :: !uses;
           let meta_covered =
             f.meta_ver = f.ver
             && (if a.a_store then f.sd_ok else f.ld_ok)
@@ -266,27 +275,55 @@ let optimize ~cheri (insns : Insn.t array) =
           end
       | None -> ());
       let d = def_of insns.(i) in
-      if d >= 0 then facts.(d).ver <- facts.(d).ver + 1
+      if d >= 0 then begin
+        facts.(d).ver <- facts.(d).ver + 1;
+        origin.(d) <-
+          (match insns.(i) with
+          | Cmove (_, rs) -> origin.(rs land 15)
+          | Cincaddrimm (_, rs, imm) -> (
+              match origin.(rs land 15) with
+              | Some (root, delta, hops) ->
+                  Some (root, delta + imm, (delta + imm) :: hops)
+              | None -> None)
+          | _ -> None)
+      end
     done;
-    (* --- pass 2: guard hoisting over entry versions --- *)
-    (* Group accesses by (register, version); only version-0 groups are
-       hoistable — the guard is evaluated once at block entry, before
-       any op runs, so it must read the entry value of the register. *)
+    (* --- pass 2: guard hoisting over origin groups --- *)
+    (* Group accesses by the entry register their address provably
+       derives from.  The guard is evaluated once at block entry,
+       before any op runs, against the entry value of [root]; it can
+       therefore vouch for an access through a {e derived} version
+       [entry(root) + delta] as long as its range also covers every
+       intermediate hop address of the derivation (tag survival, see
+       [origin] above).  Footprints are expressed in root coordinates:
+       [delta + a_off, delta + a_off + a_size). *)
     let uses = List.rev !uses in
     let guards = ref [] in
     let hoisted = ref 0 in
+    let hoisted_nonentry = ref 0 in
     for r = 1 to 15 do
       let group =
-        List.filter (fun (_, reg, ver, _) -> reg = r && ver = 0) uses
+        List.filter_map
+          (fun (i, org, a) ->
+            match org with
+            | Some (root, delta, hops) when root = r -> Some (i, delta, hops, a)
+            | _ -> None)
+          uses
       in
       if List.length group >= 2 then begin
         let lo =
-          List.fold_left (fun acc (_, _, _, a) -> min acc a.a_off) max_int
-            group
+          List.fold_left
+            (fun acc (_, delta, hops, a) ->
+              List.fold_left min (min acc (delta + a.a_off)) hops)
+            max_int group
         in
         let hi =
           List.fold_left
-            (fun acc (_, _, _, a) -> max acc (a.a_off + a.a_size))
+            (fun acc (_, delta, hops, a) ->
+              List.fold_left
+                (fun acc h -> max acc (h + 1))
+                (max acc (delta + a.a_off + a.a_size))
+                hops)
             min_int group
         in
         guards :=
@@ -294,19 +331,19 @@ let optimize ~cheri (insns : Insn.t array) =
             g_rs1 = r;
             g_lo = lo;
             g_hi = hi;
-            g_need_ld =
-              List.exists (fun (_, _, _, a) -> not a.a_store) group;
+            g_need_ld = List.exists (fun (_, _, _, a) -> not a.a_store) group;
             g_need_sd = List.exists (fun (_, _, _, a) -> a.a_store) group;
             g_need_mc = List.exists (fun (_, _, _, a) -> a.a_cap) group;
           }
           :: !guards;
         List.iter
-          (fun (i, _, _, _) ->
+          (fun (i, delta, hops, _) ->
             (* [Chk_none] facts stay — strictly stronger than the guard
                cover (and themselves guard-backed: on guard failure the
                executor reverts the whole block to full checks). *)
             if chks.(i) <> Chk_none then chks.(i) <- Chk_align;
-            incr hoisted)
+            incr hoisted;
+            if delta <> 0 || hops <> [] then incr hoisted_nonentry)
           group
       end
     done;
@@ -315,6 +352,7 @@ let optimize ~cheri (insns : Insn.t array) =
       {
         eliminated = !eliminated;
         hoisted = !hoisted;
+        hoisted_nonentry = !hoisted_nonentry;
         dead_bookkeeping = !dead;
       } )
   end

@@ -178,8 +178,17 @@ type t = {
   mutable jit_blocks_compiled : int;
   mutable checks_eliminated : int;
   mutable checks_hoisted : int;
+  mutable checks_hoisted_nonentry : int;
   mutable dead_bookkeeping_removed : int;
   mutable opt_side_exits : int;
+  (* Compile-time plan validation (translation validation): when set,
+     every plan [compile_jit] produces is submitted to the validator
+     before installation; a rejected plan is replaced by the all-full
+     plan with no guards (always sound) and counted.  The hook also
+     serves as a plan collector for the offline `cheriot_audit plans`
+     gate.  [None] (the default) installs plans unvalidated. *)
+  mutable jit_validator : (bentry -> Ir.chk array -> Ir.guard array -> bool) option;
+  mutable jit_plans_rejected : int;
 }
 
 (* A decode-cache entry carries a fetch "ticket": the machine mode and
@@ -369,8 +378,11 @@ let create ?(mode = Cheriot) ?(load_filter = true) bus =
     jit_blocks_compiled = 0;
     checks_eliminated = 0;
     checks_hoisted = 0;
+    checks_hoisted_nonentry = 0;
     dead_bookkeeping_removed = 0;
     opt_side_exits = 0;
+    jit_validator = None;
+    jit_plans_rejected = 0;
   }
 
 (* regs.(0) is initialised to null and [set_reg] never writes it, so the
@@ -1874,6 +1886,19 @@ let chain_next m (b : bentry) =
 let compile_jit m (b : bentry) =
   let cheri = b.b_mode = Cheriot in
   let chks, guards, (st : Ir.stats) = Ir.optimize ~cheri b.b_insns in
+  (* Translation validation: an installed validator must accept the
+     plan; otherwise install the unoptimized (always sound) plan.  The
+     deferred-bookkeeping accounting survives rejection — deferral is a
+     structural property of the executor, not of the check plan. *)
+  let chks, guards, st =
+    match m.jit_validator with
+    | Some validate when not (validate b chks guards) ->
+        m.jit_plans_rejected <- m.jit_plans_rejected + 1;
+        ( Array.make b.b_len Ir.Chk_full,
+          [||],
+          { st with Ir.eliminated = 0; hoisted = 0; hoisted_nonentry = 0 } )
+    | _ -> (chks, guards, st)
+  in
   let brs = Array.make b.b_len Capability.null in
   let jal_t = ref Capability.null in
   let link_on = ref Capability.null in
@@ -1918,6 +1943,8 @@ let compile_jit m (b : bentry) =
   m.jit_blocks_compiled <- m.jit_blocks_compiled + 1;
   m.checks_eliminated <- m.checks_eliminated + st.Ir.eliminated;
   m.checks_hoisted <- m.checks_hoisted + st.Ir.hoisted;
+  m.checks_hoisted_nonentry <-
+    m.checks_hoisted_nonentry + st.Ir.hoisted_nonentry;
   m.dead_bookkeeping_removed <-
     m.dead_bookkeeping_removed + st.Ir.dead_bookkeeping + !folds;
   let t =
@@ -2759,8 +2786,12 @@ type block_stats = {
   jit_blocks_compiled : int;
   checks_eliminated : int;  (* pass 1: accesses with reduced checks *)
   checks_hoisted : int;  (* pass 2: accesses covered by entry guards *)
+  checks_hoisted_nonentry : int;
+      (* the subset of [checks_hoisted] reached through derived
+         (non-entry) register versions *)
   dead_bookkeeping_removed : int;  (* pass 3 + control-flow folds *)
   opt_side_exits : int;  (* block executions deoptimized by a guard *)
+  jit_plans_rejected : int;  (* plans the installed validator refused *)
 }
 
 let block_stats m =
@@ -2780,8 +2811,10 @@ let block_stats m =
     jit_blocks_compiled = m.jit_blocks_compiled;
     checks_eliminated = m.checks_eliminated;
     checks_hoisted = m.checks_hoisted;
+    checks_hoisted_nonentry = m.checks_hoisted_nonentry;
     dead_bookkeeping_removed = m.dead_bookkeeping_removed;
     opt_side_exits = m.opt_side_exits;
+    jit_plans_rejected = m.jit_plans_rejected;
   }
 
 let avg_block_len (s : block_stats) =

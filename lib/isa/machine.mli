@@ -149,12 +149,24 @@ type t = {
           dominating check covers *)
   mutable checks_hoisted : int;
       (** pass-2 count: accesses covered by a block-entry guard *)
+  mutable checks_hoisted_nonentry : int;
+      (** the subset of [checks_hoisted] reached through derived
+          (non-entry) register versions *)
   mutable dead_bookkeeping_removed : int;
       (** pass-3 count: deferred per-op epilogues plus control-flow
           folds *)
   mutable opt_side_exits : int;
       (** block executions deoptimized to full checks by a failed
           guard *)
+  mutable jit_validator :
+    (bentry -> Ir.chk array -> Ir.guard array -> bool) option;
+      (** compile-time plan validation hook: when set, {!compile_jit}
+          submits every plan before installing it; a rejected plan is
+          replaced by the all-[Chk_full] no-guard plan (always sound)
+          and counted in [jit_plans_rejected].  Doubles as the plan
+          collector of the offline [cheriot_audit plans] gate. *)
+  mutable jit_plans_rejected : int;
+      (** plans the installed validator refused *)
 }
 
 and centry = {
@@ -293,6 +305,13 @@ val step_jit : t -> result
     recording walk is the observational twin of the merged jit
     executor used by {!run}. *)
 
+val compile_jit : t -> bentry -> jit
+(** Compile (and install) [bentry]'s optimized execution plan: the
+    {!Ir.optimize} passes plus the static control-flow folds.  Normally
+    called lazily by the jit tier on first block entry; exposed so the
+    offline plan-verification gate can compile blocks discovered under
+    other dispatch tiers.  Consults [jit_validator] when installed. *)
+
 val max_block_len : int
 (** Upper bound on instructions per translated block (16). *)
 
@@ -355,10 +374,15 @@ type block_stats = {
       (** pass 1: accesses with a dominating check, run reduced *)
   checks_hoisted : int;
       (** pass 2: accesses covered by a block-entry guard *)
+  checks_hoisted_nonentry : int;
+      (** the subset of [checks_hoisted] reached through derived
+          (non-entry) register versions *)
   dead_bookkeeping_removed : int;
       (** pass 3: deferred per-op epilogues, plus control-flow folds *)
   opt_side_exits : int;
       (** block executions deoptimized by a failed entry guard *)
+  jit_plans_rejected : int;
+      (** plans refused by the installed [jit_validator] *)
 }
 
 val block_stats : t -> block_stats

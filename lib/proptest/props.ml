@@ -39,6 +39,7 @@ module Loader = Cheriot_rtos.Loader
 module Allocator = Cheriot_rtos.Allocator
 module Audit = Cheriot_analysis.Audit
 module Rules = Cheriot_analysis.Rules
+module Planverify = Cheriot_analysis.Planverify
 
 (* A small deterministic LCG over a generated seed: the shrinker can
    minimise interesting injection schedules along with the program. *)
@@ -512,6 +513,61 @@ let scenario_audits_clean (sc : Scenario.t) =
         (String.concat "; "
            (List.map (Format.asprintf "%a" Rules.pp_finding) findings))
 
+(* --- plan soundness (DESIGN.md §14) ---------------------------------------- *)
+
+(** Translation validation under generated inputs: every check plan the
+    jit tier compiles from a random multi-compartment scenario at
+    [hot_threshold = 2] must be provable sound by {!Planverify} —
+    including plans whose guards group accesses through derived
+    (non-entry) register versions, which the scenario stack prologue and
+    epilogue exercise on every cross-compartment call. *)
+let scenario_plans_sound (sc : Scenario.t) =
+  let l = Scenario.link ~instrument:true sc in
+  let m = l.Scenario.t.Loader.machine in
+  m.Machine.hot_threshold <- 2;
+  m.Machine.hot_adaptive <- false;
+  let plans = Planverify.collect ~fuel:scenario_fuel m in
+  List.iter
+    (fun (p : Planverify.plan) ->
+      match Planverify.verify_plan p with
+      | Planverify.Sound -> ()
+      | Planverify.Unsound cx ->
+          QCheck.Test.fail_reportf "unsound plan at 0x%x op %d: %s: %s"
+            p.Planverify.p_block.Machine.b_start cx.Planverify.cx_index
+            cx.Planverify.cx_rule cx.Planverify.cx_detail)
+    plans;
+  true
+
+(** Compile-time validation is observationally free: a jit machine with
+    {!Planverify.install}ed validation retires exactly the states of a
+    bare one, and never rejects a plan the optimizer actually emits. *)
+let scenario_validated_jit_agrees (sc : Scenario.t) =
+  let mk () =
+    let l = Scenario.link ~instrument:true sc in
+    let m = l.Scenario.t.Loader.machine in
+    m.Machine.hot_threshold <- 2;
+    m.Machine.hot_adaptive <- false;
+    m
+  in
+  let plain = mk () and validated = mk () in
+  Planverify.install validated;
+  let r_p =
+    Machine.run ~fuel:scenario_fuel ~dispatch:Machine.Dispatch_jit plain
+  in
+  let r_v =
+    Machine.run ~fuel:scenario_fuel ~dispatch:Machine.Dispatch_jit validated
+  in
+  if r_p <> r_v then
+    QCheck.Test.fail_reportf "validated jit run result diverged";
+  Obs.compare_states ~what:"plain/validated jit" scenario_fuel plain validated;
+  Obs.require_hashes_equal ~what:"validated jit" scenario_fuel plain
+    [ validated ];
+  if validated.Machine.jit_plans_rejected <> 0 then
+    QCheck.Test.fail_reportf
+      "validator rejected %d plan(s) the optimizer emitted"
+      validated.Machine.jit_plans_rejected;
+  true
+
 (* --- Revoker.tick_n ≡ tick loop ------------------------------------------- *)
 
 type revoker_case = {
@@ -697,6 +753,16 @@ let scenario_tests =
       ~count:(Iters.count ~default:60)
       (Scenario.arb ~clean:true ())
       scenario_audits_clean;
+    QCheck.Test.make
+      ~name:"every jit check plan from a generated scenario verifies sound"
+      ~count:(Iters.count ~default:40)
+      (Scenario.arb ())
+      scenario_plans_sound;
+    QCheck.Test.make
+      ~name:"compile-time plan validation is observationally free"
+      ~count:(Iters.count ~default:25)
+      (Scenario.arb ())
+      scenario_validated_jit_agrees;
     QCheck.Test.make
       ~name:"Revoker.tick_n is bit-identical to the tick loop"
       ~count:(Iters.count ~default:100) arb_revoker_case

@@ -22,4 +22,5 @@ let () =
       ("workloads", Test_workloads.suite);
       ("absdom", Test_absdom.suite);
       ("audit", Test_audit.suite);
+      ("planverify", Test_planverify.suite);
     ]
