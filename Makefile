@@ -9,7 +9,10 @@
 # clean, the bad-image corpus is fully detected), the plan-soundness
 # gate (`cheriot_audit plans`: every jit check plan on the shipped
 # images proves equivalent to the all-full plan, every seeded optimizer
-# mutant is refuted), and reduced-workload
+# mutant is refuted), the incremental-audit gate (`cheriot_audit
+# incremental`: a one-compartment patch re-analyzes only that
+# compartment and the warm report is byte-identical to a cold audit),
+# and reduced-workload
 # runs of the decode-cache, block-exec, chain-exec and jit-exec
 # benchmarks, which exit non-zero if any dispatch path diverges on any
 # workload (jit_exec additionally fails if the optimizer never
@@ -17,7 +20,7 @@
 # divergence gates, not performance claims — use `make bench` for real
 # numbers.
 
-.PHONY: all build lint test parity prop-long audit verify-plans bench bench-smoke ci clean
+.PHONY: all build lint test parity prop-long audit verify-plans audit-incremental bench bench-smoke ci clean
 
 all: build
 
@@ -46,6 +49,13 @@ audit: build
 verify-plans: build
 	dune exec bin/cheriot_audit.exe -- plans
 
+# Incremental-audit gate: for each shipped image, prime the summary
+# cache, patch one instruction in one compartment and re-audit warm;
+# fails unless only the patched compartment was re-analyzed and the
+# warm report is byte-identical to a from-scratch audit.
+audit-incremental: build
+	dune exec bin/cheriot_audit.exe -- incremental
+
 # Dispatch parity: every dispatch path (ref / cached / block / chain /
 # jit) must be observationally identical on random streams, on generated
 # multi-compartment scenarios (switcher cross-calls, allocator churn,
@@ -72,6 +82,7 @@ bench: build
 	dune exec bench/main.exe -- chain_exec
 	dune exec bench/main.exe -- jit_exec
 	dune exec bench/main.exe -- audit
+	dune exec bench/main.exe -- audit_incremental
 	dune exec bench/main.exe -- planverify
 
 bench-smoke: build
@@ -80,9 +91,10 @@ bench-smoke: build
 	dune exec bench/main.exe -- chain_exec smoke
 	dune exec bench/main.exe -- jit_exec smoke
 	dune exec bench/main.exe -- audit smoke
+	dune exec bench/main.exe -- audit_incremental smoke
 	dune exec bench/main.exe -- planverify smoke
 
-ci: build lint test parity audit verify-plans bench-smoke
+ci: build lint test parity audit verify-plans audit-incremental bench-smoke
 
 clean:
 	dune clean

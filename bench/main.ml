@@ -1048,6 +1048,99 @@ let audit_bench ?(smoke = false) () =
     exit 1
   end
 
+(* --- incremental (summary-cache) audit timing ----------------------------- *)
+
+(* Times a cold audit sweep over a fleet of near-identical images (the
+   coremark compartment plus a per-variant sensor compartment,
+   Firmware.fleet) against the same sweep through a shared summary
+   cache: the expensive coremark fixpoint is re-analyzed once, every
+   further image re-analyzes only its one-instruction-different sensor.
+   Doubles as a gate: every warm report must be byte-identical to its
+   cold counterpart, the cache must actually hit, and (full mode) the
+   cached sweep must be at least 2x faster.  Writes
+   BENCH_audit_incremental*.json. *)
+let audit_incremental_bench ?(smoke = false) () =
+  section
+    (if smoke then "audit_incremental -- smoke (summary-cache sweep timing)"
+     else "audit_incremental -- summary-cache audit sweep timing");
+  let grid = if smoke then 3 else 8 in
+  let runs = if smoke then 2 else 5 in
+  let module Audit = Cheriot_analysis.Audit in
+  let module Summary = Cheriot_analysis.Summary in
+  let module Rules = Cheriot_analysis.Rules in
+  let images =
+    List.init grid (fun i ->
+        ( Printf.sprintf "fleet-%d" i,
+          Cheriot_workloads.Firmware.fleet ~variant:i () ))
+  in
+  (* correctness before timing: warm ≡ cold, byte for byte, per variant *)
+  let cache = Summary.create_cache () in
+  let hits = ref 0 and misses = ref 0 in
+  let identical =
+    List.for_all
+      (fun (name, t) ->
+        let warm, st = Audit.run_stats ~cache t in
+        let cold = Audit.run t in
+        hits := !hits + st.Audit.cache_hits;
+        misses := !misses + st.Audit.cache_misses;
+        String.equal
+          (Rules.report_to_json [ (name, Rules.sort_findings warm) ])
+          (Rules.report_to_json [ (name, Rules.sort_findings cold) ]))
+      images
+  in
+  let time f =
+    let best = ref infinity in
+    for _ = 1 to runs do
+      let t0 = Sys.time () in
+      f ();
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let cold_s =
+    time (fun () -> List.iter (fun (_, t) -> ignore (Audit.run t)) images)
+  in
+  let warm_s =
+    time (fun () ->
+        let cache = Summary.create_cache () in
+        List.iter (fun (_, t) -> ignore (Audit.run_stats ~cache t)) images)
+  in
+  let speedup = if warm_s > 0. then cold_s /. warm_s else infinity in
+  Format.printf "%-6s %12s %12s %8s %6s %8s@." "grid" "cold_s" "warm_s"
+    "speedup" "hits" "identical";
+  Format.printf "%-6d %12.6f %12.6f %8.2f %6d %8b@." grid cold_s warm_s speedup
+    !hits identical;
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"bench\": \"audit_incremental\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  \"smoke\": %b,\n  \"grid\": %d,\n  \"cold_seconds\": %.6f,\n\
+       \  \"warm_seconds\": %.6f,\n  \"speedup\": %.2f,\n\
+       \  \"cache_hits\": %d,\n  \"cache_misses\": %d,\n\
+       \  \"identical\": %b\n}\n"
+       smoke grid cold_s warm_s speedup !hits !misses identical);
+  let file =
+    if smoke then "BENCH_audit_incremental_smoke.json"
+    else "BENCH_audit_incremental.json"
+  in
+  let oc = open_out file in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." file;
+  if not identical then begin
+    prerr_endline "audit_incremental: warm report diverged from cold";
+    exit 1
+  end;
+  if !hits = 0 then begin
+    prerr_endline "audit_incremental: summary cache never hit";
+    exit 1
+  end;
+  if (not smoke) && speedup < 2.0 then begin
+    prerr_endline "audit_incremental: cached sweep under 2x over cold";
+    exit 1
+  end
+
 (* --- plan-soundness verifier timing --------------------------------------- *)
 
 (* Times [Planverify.verify_plan] over every plan the jit tier compiles
@@ -1139,6 +1232,7 @@ let all () =
   chain_exec ();
   jit_exec ();
   audit_bench ();
+  audit_incremental_bench ();
   planverify_bench ();
   micro ()
 
@@ -1163,6 +1257,9 @@ let () =
   | [| _; "jit_exec"; "smoke" |] -> jit_exec ~smoke:true ()
   | [| _; "audit" |] -> audit_bench ()
   | [| _; "audit"; "smoke" |] -> audit_bench ~smoke:true ()
+  | [| _; "audit_incremental" |] -> audit_incremental_bench ()
+  | [| _; "audit_incremental"; "smoke" |] ->
+      audit_incremental_bench ~smoke:true ()
   | [| _; "planverify" |] -> planverify_bench ()
   | [| _; "planverify"; "smoke" |] -> planverify_bench ~smoke:true ()
   | [| _; "micro" |] -> micro ()
@@ -1171,5 +1268,6 @@ let () =
         "usage: main.exe \
          [table1|table2|table3|table4|fig5|fig6|iot|ablations|decode_cache \
          [smoke]|block_exec [smoke]|chain_exec [smoke]|jit_exec \
-         [smoke]|audit [smoke]|planverify [smoke]|micro]";
+         [smoke]|audit [smoke]|audit_incremental [smoke]|planverify \
+         [smoke]|micro]";
       exit 2

@@ -12,10 +12,15 @@
                       every compiled check plan sound, then refute the
                       seeded optimizer mutants (the `make verify-plans`
                       CI gate); same JSON report shape
+     incremental [NAME]  prime the summary cache, patch one compartment
+                      and re-audit warm: exits 0 only when the warm
+                      report is byte-identical to a from-scratch audit
+                      and every untouched compartment's summary was
+                      reused (the `make audit-incremental` CI gate)
      rules            list the rule catalogue (image + plan rules)
 
    All image-auditing subcommands accept `--rule ID` to restrict the
-   report (shipped) or the corpus selection to one rule.
+   report (shipped, plans) or the corpus selection to one rule.
 
    Exit codes: 0 clean; 1 findings / corpus failure; 2 analysis error,
    unknown image or unknown rule.
@@ -87,13 +92,25 @@ let () =
       (Cmd.info "plans"
          ~doc:"verify every compiled check plan sound; refute the mutants")
       Term.(
-        const (fun name dispatch ->
-            Driver.plans_all ~images:Firmware.shipped ?name ~dispatch ())
-        $ name_arg $ dispatch_arg)
+        const (fun name dispatch rule ->
+            Driver.plans_all ~images:Firmware.shipped ?name ~dispatch ?rule ())
+        $ name_arg $ dispatch_arg $ rule_arg)
+  in
+  let incremental =
+    Cmd.v
+      (Cmd.info "incremental"
+         ~doc:
+           "re-audit patched images through the summary cache; fail unless \
+            warm reports match cold byte-for-byte")
+      Term.(
+        const (fun name -> Driver.incremental ~images:Firmware.shipped ?name ())
+        $ name_arg)
   in
   let rules =
     Cmd.v
       (Cmd.info "rules" ~doc:"list the rule catalogue")
       Term.(const Driver.rules $ const ())
   in
-  exit (Cmd.eval' (Cmd.group info [ shipped; corpus; all; plans; rules ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ shipped; corpus; all; plans; incremental; rules ]))

@@ -19,7 +19,14 @@
      from_load  provenance: the value may have travelled through memory
                 (set by every abstract load; joins as OR).  Rules use it
                 to tell a directly-leaked register value from one
-                laundered through a second location.                    *)
+                laundered through a second location.
+     xret   three-valued provenance for the compositional link-flow pass
+            (DESIGN.md §15): [True] means every concretization is exactly
+            the unmodified return value of some cross-compartment import
+            call; [False] means provably not; [Any] is unknown.  Only
+            [Cmove] and block-local store-to-load forwarding preserve
+            [True] — every other derivation weakens it to [Any], so the
+            summary substitution in {!Linkflow} stays sound.            *)
 
 open Cheriot_core
 
@@ -72,6 +79,7 @@ type v = {
   top : Iv.t;
   addr : Iv.t;
   from_load : bool;
+  xret : Tri.t;
 }
 
 let all_perms = Perm.Set.of_list Perm.all
@@ -86,6 +94,7 @@ let top_v =
     top = Iv.full;
     addr = Iv.full;
     from_load = true;
+    xret = Tri.Any;
   }
 
 (* A known integer (or the null capability): untagged, no authority. *)
@@ -99,6 +108,7 @@ let int_v iv =
     top = Iv.exact 0;
     addr = iv;
     from_load = false;
+    xret = Tri.False;
   }
 
 let null_v = int_v (Iv.exact 0)
@@ -116,6 +126,7 @@ let of_cap (c : Capability.t) =
     top = Iv.exact (Capability.top c);
     addr = Iv.exact (Capability.address c);
     from_load = false;
+    xret = Tri.False;
   }
 
 let join_ot a b =
@@ -139,6 +150,7 @@ let join a b =
     top = Iv.join a.top b.top;
     addr = Iv.join a.addr b.addr;
     from_load = a.from_load || b.from_load;
+    xret = Tri.join a.xret b.xret;
   }
 
 (* Join with interval widening relative to [old] — applied at loop heads
@@ -153,6 +165,7 @@ let widen old nw =
     top = Iv.widen old.top (Iv.join old.top nw.top);
     addr = Iv.widen old.addr (Iv.join old.addr nw.addr);
     from_load = old.from_load || nw.from_load;
+    xret = Tri.join old.xret nw.xret;
   }
 
 let equal a b =
@@ -160,7 +173,7 @@ let equal a b =
   && Perm.Set.equal a.pmust b.pmust
   && Perm.Set.equal a.pmay b.pmay
   && Iv.equal a.base b.base && Iv.equal a.top b.top && Iv.equal a.addr b.addr
-  && a.from_load = b.from_load
+  && a.from_load = b.from_load && a.xret = b.xret
 
 (* Abstract ordering: [leq a b] iff every concretization of [a] is one of
    [b] — i.e. [b] is the more abstract value.  Must-components shrink
@@ -180,6 +193,7 @@ let leq a b =
   && Perm.Set.subset a.pmay b.pmay
   && leq_iv a.base b.base && leq_iv a.top b.top && leq_iv a.addr b.addr
   && ((not a.from_load) || b.from_load)
+  && (a.xret = b.xret || b.xret = Tri.Any)
 
 (* --- must-queries (the only evidence findings may use) ------------------ *)
 
@@ -194,6 +208,15 @@ let sentry_kind_exact v =
 
 let may_perm v p = Perm.Set.mem p v.pmay
 let must_perm v p = Perm.Set.mem p v.pmust
+
+(* Every concretization is exactly the unmodified return value of some
+   cross-compartment import call (see [xret] above). *)
+let must_xret v = Tri.must_true v.xret
+
+(* Any derivation (bounds, perms, tag or address change) produces a value
+   that is no longer the *unmodified* return: [True] decays to [Any]. *)
+let weaken_xret v =
+  match v.xret with Tri.True -> { v with xret = Tri.Any } | _ -> v
 
 (* Every concretization of [iv] is an in-bounds access of [size] bytes. *)
 let must_in_bounds v (iv : Iv.t) ~size =

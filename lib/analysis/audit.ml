@@ -88,6 +88,18 @@ type ctx = {
       (* return-block leader -> entries of the functions it returns from
          (intraprocedural reachability, computed once per callee) *)
   mutable sum_dirty : bool;  (* a summary grew during this round *)
+  sw_lo : int;
+  sw_hi : int;
+      (* switcher code region: a provable sentry jump into it is a
+         cross-compartment call through the switcher *)
+  mutable xcall_out : v option;
+      (* join of the a0 argument at every cross-compartment call site,
+         recomputed each round (the final emission round's value feeds
+         the interface summary) *)
+  mutable xcall_out_pc : int option;
+  mutable stored_xcall : int option;
+      (* pc of a Csc provably storing an unmodified import-call return
+         into this compartment's globals *)
 }
 
 let globals_region ctx (a : v) =
@@ -120,21 +132,23 @@ let attenuate ~auth v =
   let v =
     if must_perm auth Perm.LG then v
     else
-      {
-        v with
-        pmust = strip v.pmust;
-        pmay = (if may_perm auth Perm.LG then v.pmay else strip v.pmay);
-      }
+      weaken_xret
+        {
+          v with
+          pmust = strip v.pmust;
+          pmay = (if may_perm auth Perm.LG then v.pmay else strip v.pmay);
+        }
   in
   if must_perm auth Perm.LM then v
   else
-    {
-      v with
-      pmust = strip_m v.pmust;
-      pmay =
-        (if may_perm auth Perm.LM || not (must_unsealed v) then v.pmay
-         else strip_m v.pmay);
-    }
+    weaken_xret
+      {
+        v with
+        pmust = strip_m v.pmust;
+        pmay =
+          (if may_perm auth Perm.LM || not (must_unsealed v) then v.pmay
+           else strip_m v.pmay);
+      }
 
 (* --- abstract memory ---------------------------------------------------- *)
 
@@ -363,7 +377,7 @@ let with_addr (c : v) (addr : Iv.t) =
         then Tri.True
         else Tri.Any
   in
-  { c with addr; tag }
+  weaken_xret { c with addr; tag }
 
 (* [Csetbounds*]: traps (rather than clearing the tag) when the request
    escapes the source authority, so the success path is always tagged. *)
@@ -377,21 +391,23 @@ let set_bounds_v acc ctx pc (c : v) (len : Iv.t) ~exact =
   ignore exact;
   if Iv.is_exact c.addr && Iv.is_exact len && len.Iv.lo <= 511 then
     (* small objects are always exactly representable (3.2.3) *)
-    {
-      c with
-      tag = Tri.True;
-      ot = Ot_exact Otype.unsealed;
-      base = Iv.exact c.addr.Iv.lo;
-      top = Iv.exact (c.addr.Iv.lo + len.Iv.lo);
-    }
+    weaken_xret
+      {
+        c with
+        tag = Tri.True;
+        ot = Ot_exact Otype.unsealed;
+        base = Iv.exact c.addr.Iv.lo;
+        top = Iv.exact (c.addr.Iv.lo + len.Iv.lo);
+      }
   else
-    {
-      c with
-      tag = Tri.True;
-      ot = Ot_exact Otype.unsealed;
-      base = Iv.v c.base.Iv.lo c.addr.Iv.hi;
-      top = Iv.v (Iv.add c.addr len).Iv.lo c.top.Iv.hi;
-    }
+    weaken_xret
+      {
+        c with
+        tag = Tri.True;
+        ot = Ot_exact Otype.unsealed;
+        base = Iv.v c.base.Iv.lo c.addr.Iv.hi;
+        top = Iv.v (Iv.add c.addr len).Iv.lo c.top.Iv.hi;
+      }
 
 let step acc ctx (st : state) pc (i : Insn.t) =
   let g = get st and s = set st in
@@ -429,7 +445,14 @@ let step acc ctx (st : state) pc (i : Insn.t) =
       let auth = with_addr (g rs1) (Iv.add_const (g rs1).addr off) in
       check_access acc ctx pc ~auth ~size:8 ~is_store:true ~is_cap:true;
       check_store_value acc ctx pc ~auth ~value:(g rs2);
-      store ctx auth (Some (g rs2)) ~size:8
+      store ctx auth (Some (g rs2)) ~size:8;
+      if
+        Tri.must_true auth.tag && must_xret (g rs2)
+        && globals_region ctx auth = `Globals
+      then
+        ctx.stored_xcall <-
+          Some
+            (match ctx.stored_xcall with None -> pc | Some p -> min p pc)
   | Insn.Cincaddrimm (rd, rs1, imm) ->
       let c = g rs1 in
       s rd (with_addr c (Iv.add_const c.addr imm))
@@ -471,12 +494,13 @@ let step acc ctx (st : state) pc (i : Insn.t) =
         | Tri.False -> Tri.False
         | _ -> if must_unsealed c then c.tag else Tri.Any
       in
-      s rd { c with tag }
-  | Insn.Ccleartag (rd, rs1) -> s rd { (g rs1) with tag = Tri.False }
+      s rd (weaken_xret { c with tag })
+  | Insn.Ccleartag (rd, rs1) ->
+      s rd (weaken_xret { (g rs1) with tag = Tri.False })
   | Insn.Cmove (rd, rs1) -> s rd (g rs1)
   | Insn.Cseal (rd, rs1, _) ->
       (* success path: the operand was tagged and sealable *)
-      s rd { (g rs1) with tag = Tri.True; ot = Ot_any }
+      s rd (weaken_xret { (g rs1) with tag = Tri.True; ot = Ot_any })
   | Insn.Cunseal (rd, rs1, rs2) ->
       let c = g rs1 and key = g rs2 in
       let c = { c with tag = Tri.True; ot = Ot_exact Otype.unsealed } in
@@ -484,7 +508,7 @@ let step acc ctx (st : state) pc (i : Insn.t) =
         if must_perm key Perm.GL then c
         else { c with pmust = Perm.Set.remove Perm.GL c.pmust }
       in
-      s rd c
+      s rd (weaken_xret c)
   | Insn.Cget (Insn.Tag, rd, _) -> s rd (int_v (Iv.v 0 1))
   | Insn.Cget (Insn.Addr, rd, rs1) -> s rd (int_v (g rs1).addr)
   | Insn.Cget (Insn.Base, rd, rs1) -> s rd (int_v (g rs1).base)
@@ -527,6 +551,7 @@ let stack_v ctx =
     top = Iv.v ctx.sbase (ctx.sbase + ctx.ssize);
     addr = Iv.v ctx.sbase (ctx.sbase + ctx.ssize);
     from_load = false;
+    xret = Tri.False;
   }
 
 let entry_state ctx : state =
@@ -552,6 +577,34 @@ let clobbered (st : state) : state =
       else if i = Insn.reg_sp || i = Insn.reg_gp then v
       else top_v)
     st
+
+(* The abstract a0 after a cross-compartment call: unknown authority,
+   but provably *exactly* whatever the callee's export returned — the
+   provenance the {!Linkflow} return substitution keys on. *)
+let xcall_token = { top_v with xret = Tri.True }
+
+let xcall_return (st : state) : state =
+  let c = clobbered st in
+  set c Insn.reg_a0 xcall_token;
+  c
+
+(* A Jalr operand that provably is the switcher's cross-call sentry: a
+   must-tagged interrupt-disabling sentry with an exact address inside
+   the switcher's code region.  (Sentry jumps with a nonzero offset
+   provably trap in [check_jump], so reaching here implies off = 0.) *)
+let is_cross_call ctx (target : v) =
+  Tri.must_true target.tag
+  && (match sentry_kind_exact target with
+     | Some Otype.Sentry_disable -> Iv.is_exact target.addr
+     | _ -> false)
+  && target.addr.Iv.lo >= ctx.sw_lo
+  && target.addr.Iv.lo < ctx.sw_hi
+
+let record_xcall ctx pc (arg : v) =
+  ctx.xcall_out <-
+    Some (match ctx.xcall_out with None -> arg | Some o -> join o arg);
+  ctx.xcall_out_pc <-
+    Some (match ctx.xcall_out_pc with None -> pc | Some p -> min p pc)
 
 let link_v ctx addr =
   let c = of_cap (Capability.with_address ctx.code_cap addr) in
@@ -680,9 +733,19 @@ let successors acc ctx (cfg : Cfg.t) (b : Cfg.block) (st : state) =
                 call_continuation ctx (b.Cfg.term_pc + 4) a st :: succ
               else succ
           | None ->
-              if rd = 0 then [] else [ (b.Cfg.term_pc + 4, clobbered st) ]))
+              if rd = 0 then []
+              else if is_cross_call ctx target then begin
+                record_xcall ctx b.Cfg.term_pc (get st Insn.reg_a0);
+                [ (b.Cfg.term_pc + 4, xcall_return st) ]
+              end
+              else [ (b.Cfg.term_pc + 4, clobbered st) ]))
 
 let run_fixpoint acc ctx (cfg : Cfg.t) =
+  (* cross-call observations are recomputed from scratch each round; the
+     final (emission) round's values feed the interface summary *)
+  ctx.xcall_out <- None;
+  ctx.xcall_out_pc <- None;
+  ctx.stored_xcall <- None;
   let in_states : (int, state) Hashtbl.t = Hashtbl.create 64 in
   let visits : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let queue = Queue.create () in
@@ -731,8 +794,66 @@ let run_fixpoint acc ctx (cfg : Cfg.t) =
 
 (* --- per-compartment driver ------------------------------------------------ *)
 
-let analyze_compartment acc ~call_summaries ~field_sensitive (t : Loader.t)
+(* Content hash keying a compartment's summary: every input the
+   per-compartment analysis reads.  That is exactly the compartment's
+   own code region (bytes + tag bits: [load_cap] returns top for any
+   address outside the compartment's code and globals, so no other SRAM
+   state can influence the fixpoint), its globals image (granule words +
+   tags), the layout the abstract domain bakes into entry states and
+   region classification, the capability roots it derives from, the
+   export table (labels, postures, entry pcs), the boot entry when it
+   lands in this compartment, and the analysis flags. *)
+let summary_key ~call_summaries ~field_sensitive (t : Loader.t)
     (name, (b : Loader.built)) =
+  let sram = t.Loader.sram in
+  let code_lo = b.Loader.image.Asm.origin in
+  let code_hi = code_lo + Asm.bytes_size b.Loader.image in
+  let gbase = b.Loader.globals_base in
+  let gsize = max 16 b.Loader.bc.Compartment.globals_size in
+  let buf = Buffer.create (4 * (code_hi - code_lo) + 1024) in
+  let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  addf "%s|%b|%b|" name call_summaries field_sensitive;
+  addf "%d %d %d %d %d %d %d %d|" code_lo code_hi gbase gsize
+    t.Loader.stack_base t.Loader.stack_size t.Loader.heap_base
+    t.Loader.heap_size;
+  let add_cap (c : Capability.t) =
+    addf "%b:%Lx;" c.Capability.tag (Capability.to_word c)
+  in
+  add_cap b.Loader.code_cap;
+  add_cap b.Loader.globals_cap;
+  let a = ref code_lo in
+  while !a + 4 <= code_hi do
+    Buffer.add_int32_le buf (Int32.of_int (Sram.read32 sram !a));
+    a := !a + 4
+  done;
+  let a = ref code_lo in
+  while !a + 8 <= code_hi do
+    Buffer.add_char buf (if Sram.tag_at sram !a then '1' else '0');
+    a := !a + 8
+  done;
+  let off = ref 0 in
+  while !off + 8 <= gsize do
+    let tag, w = Sram.read_cap sram (gbase + !off) in
+    Buffer.add_char buf (if tag then '1' else '0');
+    Buffer.add_int64_le buf w;
+    off := !off + 8
+  done;
+  List.iter
+    (fun (e : Compartment.export) ->
+      addf "|%s@%d:%s" e.Compartment.exp_label
+        (Asm.label b.Loader.image e.Compartment.exp_label)
+        (match e.Compartment.exp_posture with
+        | Compartment.Interrupts_enabled -> "en"
+        | Compartment.Interrupts_disabled -> "dis"
+        | Compartment.Interrupts_inherited -> "inh"))
+    b.Loader.bc.Compartment.exports;
+  let boot = Capability.address t.Loader.machine.Machine.pcc in
+  addf "|boot:%d" (if boot >= code_lo && boot < code_hi then boot else -1);
+  Summary.digest [ Buffer.contents buf ]
+
+let analyze_compartment ~call_summaries ~field_sensitive ~key (t : Loader.t)
+    (name, (b : Loader.built)) : Summary.t =
+  let acc = acc_create () in
   let code_lo = b.Loader.image.Asm.origin in
   let code_hi = code_lo + Asm.bytes_size b.Loader.image in
   let ctx =
@@ -760,6 +881,11 @@ let analyze_compartment acc ~call_summaries ~field_sensitive (t : Loader.t)
       callees = Hashtbl.create 8;
       ret_map = Hashtbl.create 8;
       sum_dirty = false;
+      sw_lo = Sram.base t.Loader.sram;
+      sw_hi = Sram.base t.Loader.sram + 0x800;
+      xcall_out = None;
+      xcall_out_pc = None;
+      stored_xcall = None;
     }
   in
   ctx.soup <- initial_soup ctx;
@@ -790,6 +916,12 @@ let analyze_compartment acc ~call_summaries ~field_sensitive (t : Loader.t)
       emit acc ?pc:f.Rules.pc ~compartment:f.Rules.compartment f.Rules.rule
         f.Rules.detail)
     cfg.Cfg.findings;
+  (* Register every export entry as a summarised callee up front, so the
+     fixpoint attributes return states to it and the interface summary
+     can report what each export returns. *)
+  List.iter
+    (fun e -> if Hashtbl.mem cfg.Cfg.blocks e then register_callee ctx cfg e)
+    entries;
   (* Warm-up rounds with flow emission muted, until the memory and call
      summaries reach a joint fixpoint; then one emission round.  This
      keeps findings independent of the order in which stores and calls
@@ -823,7 +955,30 @@ let analyze_compartment acc ~call_summaries ~field_sensitive (t : Loader.t)
     (fun (f : Rules.finding) ->
       emit acc ?pc:f.Rules.pc ~compartment:f.Rules.compartment f.Rules.rule
         f.Rules.detail)
-    (Irq.analyze ~comp:name ~cfg ~entries:posture_entries ())
+    (Irq.analyze ~comp:name ~cfg ~entries:posture_entries ());
+  let exports =
+    List.map
+      (fun (e : Compartment.export) ->
+        let entry = Asm.label b.Loader.image e.Compartment.exp_label in
+        {
+          Summary.xs_label = e.Compartment.exp_label;
+          xs_entry = entry;
+          xs_ret =
+            (match Hashtbl.find_opt ctx.summaries entry with
+            | Some st -> Some (get st Insn.reg_a0)
+            | None -> None);
+        })
+      b.Loader.bc.Compartment.exports
+  in
+  {
+    Summary.sm_comp = name;
+    sm_key = key;
+    sm_exports = exports;
+    sm_xcall_out = ctx.xcall_out;
+    sm_xcall_out_pc = ctx.xcall_out_pc;
+    sm_stored_xcall_pc = ctx.stored_xcall;
+    sm_findings = List.rev acc.findings;
+  }
 
 (* --- linkage audit ---------------------------------------------------------- *)
 
@@ -1030,15 +1185,61 @@ let audit_linkage acc (t : Loader.t) =
 
 (* --- entry point -------------------------------------------------------------- *)
 
-(** [run t] audits a linked image; returns the findings, most recently
-    discovered first is not guaranteed — order is stable per image.
-    [call_summaries] and [field_sensitive] exist to let tests prove the
-    interprocedural and store-map layers catch what the coarse analysis
-    misses; production callers leave them on. *)
-let run ?(call_summaries = true) ?(field_sensitive = true) (t : Loader.t) =
-  let acc = acc_create () in
-  audit_linkage acc t;
-  List.iter
-    (fun cb -> analyze_compartment acc ~call_summaries ~field_sensitive t cb)
-    t.Loader.compartments;
-  List.rev acc.findings
+type stats = {
+  compartments : int;
+  cache_hits : int;  (** compartments whose summary was reused by hash *)
+  cache_misses : int;  (** compartments analyzed from scratch *)
+}
+
+(** [run_stats ?cache t] audits a linked image and reports summary-cache
+    reuse.  The linkage audit and the {!Linkflow} pass always run fresh
+    (they are cheap and depend on cross-compartment state); only the
+    per-compartment fixpoints are cached, keyed by {!summary_key}.  A
+    warm re-audit is byte-identical to a cold one because a hash hit
+    replays the exact findings and interface the cold analysis of the
+    same inputs would recompute.  [call_summaries] and [field_sensitive]
+    exist to let tests prove the interprocedural and store-map layers
+    catch what the coarse analysis misses; production callers leave them
+    on. *)
+let run_stats ?(call_summaries = true) ?(field_sensitive = true)
+    ?(cache : Summary.cache option) (t : Loader.t) =
+  let link_acc = acc_create () in
+  audit_linkage link_acc t;
+  let hits = ref 0 and misses = ref 0 in
+  let sums =
+    List.map
+      (fun cb ->
+        let key = summary_key ~call_summaries ~field_sensitive t cb in
+        let fresh () =
+          incr misses;
+          analyze_compartment ~call_summaries ~field_sensitive ~key t cb
+        in
+        match cache with
+        | None -> fresh ()
+        | Some c -> (
+            match Summary.find c key with
+            | Some s ->
+                incr hits;
+                s
+            | None ->
+                let s = fresh () in
+                Summary.add c s;
+                s))
+      t.Loader.compartments
+  in
+  let findings =
+    List.rev link_acc.findings
+    @ List.concat_map (fun (s : Summary.t) -> s.Summary.sm_findings) sums
+    @ Linkflow.analyze t sums
+  in
+  ( findings,
+    {
+      compartments = List.length t.Loader.compartments;
+      cache_hits = !hits;
+      cache_misses = !misses;
+    } )
+
+(** [run t] audits a linked image; returns the findings.  Emission order
+    is stable per image; reports sort before rendering. *)
+let run ?call_summaries ?field_sensitive ?cache (t : Loader.t) =
+  fst (run_stats ?call_summaries ?field_sensitive ?cache t)

@@ -58,6 +58,17 @@ let app ?(code = None) ?(slot = 8) () =
 
 let pair () = Loader.link [ app (); lib () ] ~boot:("app", "main")
 
+(* the canonical cross-compartment call sequence: sealed import
+   descriptor from [slot] into ct0, switcher sentry from slot 0 into
+   ct1, jump through the sentry *)
+let call_slot slot =
+  [ Asm.I (Insn.Clc (Insn.reg_t0, Insn.reg_gp, slot));
+    Asm.I (Insn.Clc (Insn.reg_t1, Insn.reg_gp, 0));
+    Asm.I (Insn.Jalr (Insn.reg_ra, Insn.reg_t1, 0)) ]
+
+let import c label slot =
+  { Compartment.imp_compartment = c; imp_export = label; imp_slot = slot }
+
 let sentry c k =
   match Capability.seal_sentry c k with
   | Ok s -> s
@@ -340,4 +351,85 @@ let entries =
     e "heap-overlaps-stack" Rules.link_heap_layout (fun () ->
         let t = pair () in
         { t with Loader.heap_base = t.Loader.stack_base });
+    (* --- xflow-* (compositional cross-compartment flow) ------------------- *)
+    e "local-escape-across-return" Rules.xflow_local_escape (fun () ->
+        (* lib's export hands its caller the (store-local) stack
+           capability: fine intra-compartment, a leak across the
+           boundary only the summary propagation sees *)
+        Loader.link
+          [ Compartment.v ~name:"app" ~globals_size:64
+              ~exports:[ export "main" ]
+              ~imports:[ import "lib" "getlocal" 8 ]
+              ((Asm.Label "main" :: call_slot 8) @ [ Asm.I Insn.Ebreak ]);
+            Compartment.v ~name:"lib" ~globals_size:64
+              ~exports:[ export "getlocal" ]
+              [ Asm.Label "getlocal";
+                Asm.I (Insn.Cmove (Insn.reg_a0, Insn.reg_sp));
+                Asm.Ret ] ]
+          ~boot:("app", "main"));
+    e "two-hop-escalation" Rules.xflow_escalation (fun () ->
+        (* owner exposes its globals capability; relay passes the call
+           result through untouched; app — which imports only from
+           relay — transitively obtains authority over owner's globals *)
+        Loader.link
+          [ Compartment.v ~name:"app" ~globals_size:64
+              ~exports:[ export "main" ]
+              ~imports:[ import "relay" "get" 8 ]
+              ((Asm.Label "main" :: call_slot 8) @ [ Asm.I Insn.Ebreak ]);
+            Compartment.v ~name:"relay" ~globals_size:64
+              ~exports:[ export "get" ]
+              ~imports:[ import "owner" "expose" 8 ]
+              ([ Asm.Label "get";
+                 Asm.I (Insn.Cincaddrimm (Insn.reg_sp, Insn.reg_sp, -16));
+                 Asm.I (Insn.Csc (Insn.reg_ra, Insn.reg_sp, 0)) ]
+              @ call_slot 8
+              @ [ Asm.I (Insn.Clc (Insn.reg_ra, Insn.reg_sp, 0));
+                  Asm.I (Insn.Cincaddrimm (Insn.reg_sp, Insn.reg_sp, 16));
+                  Asm.Ret ]);
+            Compartment.v ~name:"owner" ~globals_size:64
+              ~exports:[ export "expose" ]
+              [ Asm.Label "expose";
+                Asm.I (Insn.Cmove (Insn.reg_a0, Insn.reg_gp));
+                Asm.Ret ] ]
+          ~boot:("app", "main"));
+    e "switcher-window-return" Rules.xflow_sealed_forgery (fun () ->
+        (* lib's globals hold a readable window over the switcher's
+           private data — the unseal key and trusted stack; its export
+           returns it, so sealed-capability forgery is reachable from
+           app through the export chain *)
+        let t =
+          Loader.link
+            [ Compartment.v ~name:"app" ~globals_size:64
+                ~exports:[ export "main" ]
+                ~imports:[ import "lib" "peek" 8 ]
+                ((Asm.Label "main" :: call_slot 8) @ [ Asm.I Insn.Ebreak ]);
+              Compartment.v ~name:"lib" ~globals_size:64
+                ~exports:[ export "peek" ]
+                [ Asm.Label "peek";
+                  Asm.I (Insn.Clc (Insn.reg_a0, Insn.reg_gp, 24));
+                  Asm.Ret ] ]
+            ~boot:("app", "main")
+        in
+        let swdata = t.Loader.machine.Machine.mscratchc in
+        let lo = Capability.base swdata in
+        write_cap t
+          ((Loader.find t "lib").Loader.globals_base + 24)
+          (mem_window lo (Capability.top swdata - lo));
+        t);
+    e "import-return-into-globals" Rules.xflow_import_taint (fun () ->
+        (* app parks the unmodified return of its import call in its own
+           globals; lib provably returns a tagged capability *)
+        Loader.link
+          [ Compartment.v ~name:"app" ~globals_size:64
+              ~exports:[ export "main" ]
+              ~imports:[ import "lib" "give" 8 ]
+              ((Asm.Label "main" :: call_slot 8)
+              @ [ Asm.I (Insn.Csc (Insn.reg_a0, Insn.reg_gp, 24));
+                  Asm.I Insn.Ebreak ]);
+            Compartment.v ~name:"lib" ~globals_size:64
+              ~exports:[ export "give" ]
+              [ Asm.Label "give";
+                Asm.I (Insn.Cmove (Insn.reg_a0, Insn.reg_gp));
+                Asm.Ret ] ]
+          ~boot:("app", "main"));
   ]

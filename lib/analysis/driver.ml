@@ -152,11 +152,12 @@ let plan_compartment (t : Loader.t) (p : Planverify.plan) =
   | Some (name, _) -> name
   | None -> "system"
 
-(* [plans ~images ?name ?dispatch ?fuel ()] boots each shipped image,
-   runs it under [dispatch] (default the jit tier, forced hot so every
-   reachable block compiles), collects every emitted plan and verifies
-   it.  Same report shape and exit-code contract as [shipped]. *)
-let plans ~(images : images) ?name ?dispatch ?fuel () =
+(* [plans ~images ?name ?dispatch ?fuel ?rule ()] boots each shipped
+   image, runs it under [dispatch] (default the jit tier, forced hot so
+   every reachable block compiles), collects every emitted plan and
+   verifies it.  Same report shape and exit-code contract as
+   [shipped]; [rule] filters the report the same way. *)
+let plans ~(images : images) ?name ?dispatch ?fuel ?rule () =
   let selected =
     match name with
     | None -> Ok images
@@ -165,11 +166,14 @@ let plans ~(images : images) ?name ?dispatch ?fuel () =
         | Some build -> Ok [ (n, build) ]
         | None -> Error (Printf.sprintf "unknown image %S" n))
   in
-  match selected with
-  | Error e ->
+  match (selected, rule) with
+  | Error e, _ ->
       Printf.eprintf "plans: %s\n%!" e;
       2
-  | Ok imgs -> (
+  | _, Some r when not (known_rule r) ->
+      Printf.eprintf "plans: unknown rule %S\n%!" r;
+      2
+  | Ok imgs, _ -> (
       let verified = ref 0 in
       let audit (n, build) =
         let t = build () in
@@ -189,7 +193,7 @@ let plans ~(images : images) ?name ?dispatch ?fuel () =
                        ~compartment:(plan_compartment t p) p cx))
             ps
         in
-        (n, Rules.sort_findings findings)
+        (n, filter_rule rule (Rules.sort_findings findings))
       in
       match List.map audit imgs with
       | report ->
@@ -248,7 +252,109 @@ let plan_mutants () =
       2
 
 (* [plans_all]: shipped plans + mutants; the worst exit code wins. *)
-let plans_all ~images ?name ?dispatch ?fuel () =
-  let a = plans ~images ?name ?dispatch ?fuel () in
+let plans_all ~images ?name ?dispatch ?fuel ?rule () =
+  let a = plans ~images ?name ?dispatch ?fuel ?rule () in
   let b = plan_mutants () in
   max a b
+
+(* --- incremental re-audit (Summary cache, DESIGN.md §15) ---------------- *)
+
+module Encode = Cheriot_isa.Encode
+module Insn = Cheriot_isa.Insn
+module Sram = Cheriot_mem.Sram
+
+(* [patch_first_opimm t] simulates a one-compartment recompile: scanning
+   compartments in link order, the first code word that decodes to a
+   small [Op_imm Add] gets its immediate bumped by one.  Deterministic,
+   so patching two fresh builds of the same image yields byte-identical
+   SRAM.  Returns the patched compartment's name. *)
+let patch_first_opimm (t : Loader.t) =
+  let rec scan = function
+    | [] -> None
+    | ((name, b) : string * Loader.built) :: rest ->
+        let o = b.Loader.image.Asm.origin in
+        let limit = o + Asm.bytes_size b.Loader.image in
+        let rec go a =
+          if a >= limit then None
+          else
+            match Encode.decode (Sram.read32 t.Loader.sram a) with
+            | Some (Insn.Op_imm (Insn.Add, rd, rs1, imm))
+              when rd <> 0 && imm >= 0 && imm < 2000 ->
+                Sram.write32 t.Loader.sram a
+                  (Encode.encode (Insn.Op_imm (Insn.Add, rd, rs1, imm + 1)));
+                Some name
+            | _ -> go (a + 4)
+        in
+        (match go o with Some n -> Some n | None -> scan rest)
+  in
+  scan t.Loader.compartments
+
+(* [incremental ~images ?name ()] exercises the summary cache end to
+   end, per image: prime the cache on a cold audit, apply the
+   one-compartment patch to a fresh build, re-audit warm (reusing every
+   summary whose content hash is unchanged) and from scratch, and
+   demand (a) the two sorted reports are byte-identical and (b) the
+   cache was reused for exactly the untouched compartments.  Exit 0
+   only when both hold for every image. *)
+let incremental ~(images : images) ?name () =
+  let selected =
+    match name with
+    | None -> Ok images
+    | Some n -> (
+        match List.assoc_opt n images with
+        | Some build -> Ok [ (n, build) ]
+        | None -> Error (Printf.sprintf "unknown image %S" n))
+  in
+  match selected with
+  | Error e ->
+      Printf.eprintf "incremental: %s\n%!" e;
+      2
+  | Ok imgs -> (
+      let audit (n, build) =
+        let cache = Summary.create_cache () in
+        ignore (Audit.run_stats ~cache (build ()));
+        let patched = build () in
+        let pname = patch_first_opimm patched in
+        let warm, st = Audit.run_stats ~cache patched in
+        let scratch = build () in
+        ignore (patch_first_opimm scratch);
+        let cold = Audit.run scratch in
+        let warm_json =
+          Rules.report_to_json [ (n, Rules.sort_findings warm) ]
+        in
+        let cold_json =
+          Rules.report_to_json [ (n, Rules.sort_findings cold) ]
+        in
+        let identical = String.equal warm_json cold_json in
+        let expected_hits =
+          st.Audit.compartments - (match pname with Some _ -> 1 | None -> 0)
+        in
+        let reused = st.Audit.cache_hits = expected_hits in
+        Printf.eprintf
+          "incremental: %-12s %d compartments, patched %s: %d reused / %d \
+           re-analyzed, reports %s\n%!"
+          n st.Audit.compartments
+          (match pname with Some c -> c | None -> "none")
+          st.Audit.cache_hits st.Audit.cache_misses
+          (if identical then "identical" else "DIVERGED");
+        ( Printf.sprintf
+            "{\"image\":\"%s\",\"compartments\":%d,\"patched\":%s,\
+             \"cache_hits\":%d,\"cache_misses\":%d,\"identical\":%b}"
+            (Rules.json_escape n) st.Audit.compartments
+            (match pname with
+            | Some c -> Printf.sprintf "\"%s\"" (Rules.json_escape c)
+            | None -> "null")
+            st.Audit.cache_hits st.Audit.cache_misses identical,
+          identical && reused )
+      in
+      match List.map audit imgs with
+      | results ->
+          let ok = List.for_all snd results in
+          Printf.printf "{\"mode\":\"incremental\",\"images\":[%s],\"ok\":%b}\n"
+            (String.concat "," (List.map fst results))
+            ok;
+          if ok then 0 else 1
+      | exception e ->
+          Printf.eprintf "incremental: analysis error: %s\n%!"
+            (Printexc.to_string e);
+          2)

@@ -1,0 +1,259 @@
+(* Compositional cross-compartment flow analysis (DESIGN.md §15).
+
+   [analyze t sums] propagates the per-compartment interface summaries
+   ({!Summary}) over the image's declared linkage graph to fixpoint and
+   emits the xflow-* rules.  It never re-runs the intra-compartment
+   fixpoint: everything it needs is in the summaries plus the image
+   layout, which is what makes the incremental driver's
+   one-compartment-re-analysis contract hold.
+
+   The central equation is the *return substitution*: an export whose
+   abstract return value carries [xret = True] (every concretization is
+   exactly the unmodified return of one of the compartment's own import
+   calls) returns, transitively, whatever its own imports can return —
+   so [retstar B f] is [reach B], the join of [retstar] over B's
+   resolved import edges.  Otherwise the export's own summarised return
+   value already over-approximates every concrete return and is used
+   directly.  The equations are monotone over the {!Absdom} join
+   semilattice; iteration starts from bottom ([None]) and widens after a
+   round budget so import cycles terminate.
+
+   Evidence discipline: like the flow-* rules, every xflow-* rule
+   combines a may-flow *path* (the declared linkage edges) with *must*
+   facts about the abstract values (must-tag, provable bounds, provable
+   permission absence), so a finding means the flagged authority
+   transfer happens on every concrete return along that edge.  The
+   corpus exactness gate and the clean-scenario property keep the
+   no-false-positive contract honest. *)
+
+open Cheriot_core
+module Machine = Cheriot_isa.Machine
+module Loader = Cheriot_rtos.Loader
+module Compartment = Cheriot_rtos.Compartment
+open Absdom
+
+type comp_info = {
+  ci_name : string;
+  ci_gbase : int;
+  ci_gsize : int;
+  ci_imports : string list;  (** declared import target compartments *)
+  ci_edges : (string * string) list;
+      (** resolved import edges: (target compartment, target export) —
+          declared imports whose target compartment and export both
+          exist in the image *)
+  ci_sum : Summary.t;
+}
+
+let info_of (t : Loader.t) (sums : Summary.t list) =
+  let sum_of name =
+    List.find (fun (s : Summary.t) -> s.Summary.sm_comp = name) sums
+  in
+  List.map
+    (fun ((name, b) : string * Loader.built) ->
+      let imports =
+        List.map
+          (fun (i : Compartment.import) -> i.Compartment.imp_compartment)
+          b.Loader.bc.Compartment.imports
+      in
+      let edges =
+        List.filter_map
+          (fun (i : Compartment.import) ->
+            match List.assoc_opt i.Compartment.imp_compartment
+                    t.Loader.compartments
+            with
+            | None -> None
+            | Some (tgt : Loader.built) ->
+                if
+                  List.exists
+                    (fun (e : Compartment.export) ->
+                      e.Compartment.exp_label = i.Compartment.imp_export)
+                    tgt.Loader.bc.Compartment.exports
+                then Some (i.Compartment.imp_compartment,
+                           i.Compartment.imp_export)
+                else None)
+          b.Loader.bc.Compartment.imports
+      in
+      {
+        ci_name = name;
+        ci_gbase = b.Loader.globals_base;
+        ci_gsize = max 16 b.Loader.bc.Compartment.globals_size;
+        ci_imports = imports;
+        ci_edges = edges;
+        ci_sum = sum_of name;
+      })
+    t.Loader.compartments
+
+let export_ret (ci : comp_info) label =
+  match
+    List.find_opt
+      (fun (e : Summary.export_summary) -> e.Summary.xs_label = label)
+      ci.ci_sum.Summary.sm_exports
+  with
+  | None -> None
+  | Some e -> e.Summary.xs_ret
+
+let export_entry (ci : comp_info) label =
+  match
+    List.find_opt
+      (fun (e : Summary.export_summary) -> e.Summary.xs_label = label)
+      ci.ci_sum.Summary.sm_exports
+  with
+  | None -> None
+  | Some e -> Some e.Summary.xs_entry
+
+let joino a b =
+  match (a, b) with
+  | None, x | x, None -> x
+  | Some x, Some y -> Some (join x y)
+
+(* --- the linkage-graph fixpoint ----------------------------------------- *)
+
+(* [reach] maps a compartment to the join of everything its resolved
+   import edges can return; [retstar] substitutes [reach] for pure
+   passthrough returns.  Widening after 8 rounds bounds import cycles. *)
+let solve_reach (infos : comp_info list) =
+  let reach : (string, v option) Hashtbl.t = Hashtbl.create 8 in
+  let get_reach name =
+    match Hashtbl.find_opt reach name with Some x -> x | None -> None
+  in
+  let retstar (b : comp_info) label =
+    match export_ret b label with
+    | None -> None
+    | Some rv -> if must_xret rv then get_reach b.ci_name else Some rv
+  in
+  let find_ci name =
+    List.find (fun ci -> ci.ci_name = name) infos
+  in
+  let round n =
+    List.fold_left
+      (fun changed ci ->
+        let nv =
+          List.fold_left
+            (fun acc (bname, label) -> joino acc (retstar (find_ci bname) label))
+            None ci.ci_edges
+        in
+        let old = get_reach ci.ci_name in
+        let nv =
+          match (old, nv) with
+          | Some o, Some x when n > 8 -> Some (widen o x)
+          | Some o, Some x -> Some (join o x)
+          | _, x -> x
+        in
+        let same =
+          match (old, nv) with
+          | None, None -> true
+          | Some o, Some x -> equal o x
+          | _ -> false
+        in
+        if same then changed
+        else begin
+          Hashtbl.replace reach ci.ci_name nv;
+          true
+        end)
+      false infos
+  in
+  let n = ref 0 in
+  while round !n && !n < 64 do
+    incr n
+  done;
+  let retstar_final (bname, label) =
+    let b = find_ci bname in
+    retstar b label
+  in
+  (get_reach, retstar_final)
+
+(* --- rule emission -------------------------------------------------------- *)
+
+let analyze (t : Loader.t) (sums : Summary.t list) : Rules.finding list =
+  let infos = info_of t sums in
+  let get_reach, retstar = solve_reach infos in
+  let find_ci name = List.find (fun ci -> ci.ci_name = name) infos in
+  let findings = ref [] in
+  let seen = Hashtbl.create 16 in
+  let emit ?pc ~compartment rule detail =
+    if not (Hashtbl.mem seen (rule, compartment, pc)) then begin
+      Hashtbl.replace seen (rule, compartment, pc) ();
+      findings := Rules.v ?pc ~compartment rule detail :: !findings
+    end
+  in
+  (* switcher-private data region: the unseal key and cross-compartment
+     return state the switcher parks behind mscratchc *)
+  let swdata = t.Loader.machine.Machine.mscratchc in
+  let sw_lo = Capability.base swdata and sw_hi = Capability.top swdata in
+  List.iter
+    (fun ci ->
+      let a = ci.ci_name in
+      (* return-direction rules over every resolved import edge *)
+      List.iter
+        (fun (bname, label) ->
+          match retstar (bname, label) with
+          | None -> ()
+          | Some rv ->
+              if Tri.must_true rv.tag then begin
+                let bi = find_ci bname in
+                (* 1. a store-local capability crossing the boundary *)
+                if not (may_perm rv Perm.GL) then
+                  emit ?pc:(export_entry bi label) ~compartment:bname
+                    Rules.xflow_local_escape
+                    (Printf.sprintf
+                       "export %s may return a store-local (non-GL) \
+                        capability across the compartment boundary to %s"
+                       label a);
+                (* 2. transitive escalation: authority over a third
+                   compartment's globals that A's own imports don't
+                   grant *)
+                List.iter
+                  (fun ci' ->
+                    if
+                      ci'.ci_name <> a
+                      && ci'.ci_name <> bname
+                      && (not (List.mem ci'.ci_name ci.ci_imports))
+                      && rv.base.Iv.lo >= ci'.ci_gbase
+                      && rv.top.Iv.hi <= ci'.ci_gbase + ci'.ci_gsize
+                      && rv.base.Iv.hi < rv.top.Iv.lo
+                    then
+                      emit ~compartment:a Rules.xflow_escalation
+                        (Printf.sprintf
+                           "obtains authority over %s's globals via %s.%s \
+                            without importing from %s"
+                           ci'.ci_name bname label ci'.ci_name))
+                  infos;
+                (* 3. sealed-capability forgery reachability: a readable
+                   window provably overlapping switcher-private state *)
+                if
+                  must_perm rv Perm.LD
+                  && rv.base.Iv.hi < sw_hi
+                  && rv.top.Iv.lo > sw_lo
+                  && rv.base.Iv.hi < rv.top.Iv.lo
+                then
+                  emit ~compartment:a Rules.xflow_sealed_forgery
+                    (Printf.sprintf
+                       "readable authority over switcher-private sealing \
+                        state [0x%x, 0x%x) reachable via %s.%s"
+                       sw_lo sw_hi bname label)
+              end)
+        ci.ci_edges;
+      (* argument direction of rule 1: a store-local capability passed
+         out at a cross-compartment call site *)
+      (match ci.ci_sum.Summary.sm_xcall_out with
+      | Some av
+        when ci.ci_edges <> []
+             && Tri.must_true av.tag
+             && not (may_perm av Perm.GL) ->
+          emit ?pc:ci.ci_sum.Summary.sm_xcall_out_pc ~compartment:a
+            Rules.xflow_local_escape
+            "cross-compartment call passes a store-local (non-GL) \
+             capability out of the compartment"
+      | _ -> ());
+      (* 4. import-tainted authority parked in globals *)
+      match ci.ci_sum.Summary.sm_stored_xcall_pc with
+      | Some pc -> (
+          match get_reach a with
+          | Some rv when Tri.must_true rv.tag ->
+              emit ~pc ~compartment:a Rules.xflow_import_taint
+                "value received from an import call — provably a tagged \
+                 capability — stored into the compartment's globals"
+          | _ -> ())
+      | None -> ())
+    infos;
+  List.rev !findings

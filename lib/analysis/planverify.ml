@@ -305,19 +305,26 @@ let verify ~cheri ?defer (insns : Insn.t array) (chks : Ir.chk array)
             (* Justified: on every path on which the reduced plan runs
                (all guards passed), this access retires having
                established tag/seal, its permission and its checked
-               footprint for the current value of [q]. *)
-            if q <> 0 then
-              facts.(q) <-
-                {
-                  f_meta = true;
-                  f_ld = f.f_ld || not a.Ir.a_store;
-                  f_sd = f.f_sd || a.Ir.a_store;
-                  f_mc = f.f_mc || a.Ir.a_cap;
-                  f_fp = (off, size) :: f.f_fp;
-                }
+               footprint for the current value of [q].  Register 0 is
+               included: c0 is the hardwired null, so the dominating
+               access always traps and any later access it justifies is
+               unreachable — vacuously sound, and exactly what the
+               optimizer's version-pool concludes. *)
+            facts.(q) <-
+              {
+                f_meta = true;
+                f_ld = f.f_ld || not a.Ir.a_store;
+                f_sd = f.f_sd || a.Ir.a_store;
+                f_mc = f.f_mc || a.Ir.a_cap;
+                f_fp = (off, size) :: f.f_fp;
+              }
         | None -> ());
         let d = Ir.def_of insns.(i) in
-        if d >= 0 then begin
+        (* Defs of register 0 are discarded by [set_reg]: the value
+           stays null, so facts persist and the origin must not
+           transfer (a guard on the source would otherwise vouch for
+           an access through null). *)
+        if d > 0 then begin
           (match insns.(i) with
           | Insn.Cmove (_, rs) ->
               (* The result is the identical value; facts transfer. *)

@@ -9,6 +9,10 @@
      tmp-*    temporal safety (heap revocation / dangling ranges)
      link-*   structural checks on the linked image (descriptors,
               imports, reserved otypes, boot register file)
+     xflow-*  compositional cross-compartment flow: the {!Linkflow} pass
+              propagating per-compartment interface summaries
+              ({!Summary}) over the linkage graph to fixpoint
+              (DESIGN.md §15)
      plan-*   translation validation of jit check plans (Planverify);
               kept in [plan_catalogue], separate from [catalogue],
               because the audit corpus exactness gate covers the image
@@ -54,6 +58,10 @@ let link_sr_leak = "link-sr-leak"
 let link_switcher_slot = "link-switcher-slot"
 let link_stack_cap = "link-stack-cap"
 let link_heap_layout = "link-heap-layout"
+let xflow_local_escape = "xflow-local-escape"
+let xflow_escalation = "xflow-escalation"
+let xflow_sealed_forgery = "xflow-sealed-forgery"
+let xflow_import_taint = "xflow-import-taint"
 
 let catalogue =
   [
@@ -100,6 +108,18 @@ let catalogue =
     (link_switcher_slot, "globals slot 0 does not hold the switcher cross-call sentry");
     (link_stack_cap, "boot stack capability malformed (global, SL-less or unbounded)");
     (link_heap_layout, "heap region overlaps stacks or static data");
+    ( xflow_local_escape,
+      "store-local (non-GL) capability escapes its compartment through an \
+       export return" );
+    ( xflow_escalation,
+      "compartment transitively obtains authority over a third \
+       compartment's globals that none of its own imports grant" );
+    ( xflow_sealed_forgery,
+      "authority over switcher-private sealing state (the unseal key) \
+       reachable through an export chain" );
+    ( xflow_import_taint,
+      "value received from an import call — provably a tagged capability — \
+       stored into the compartment's globals" );
   ]
 
 (* --- plan rules (Planverify, DESIGN.md §14) ----------------------------- *)

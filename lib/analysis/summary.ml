@@ -1,0 +1,110 @@
+(* Per-compartment interface summaries for the compositional link-flow
+   analysis (DESIGN.md §15).
+
+   [Audit.analyze_compartment] distills its intra-compartment fixpoint
+   into a {!t}: the abstract value each export can return, the join of
+   the argument values the compartment passes out at cross-compartment
+   call sites, whether it provably parks an import-call return in its
+   own globals, and the cfg/flow/irq findings of the compartment itself.
+   A summary depends only on inputs covered by its content hash
+   ({!digest} over the code region, globals image, layout, export table
+   and analysis flags), so {!Linkflow} and the incremental driver can
+   reuse a cached summary whenever the hash is unchanged and still
+   produce byte-identical reports.
+
+   The abstract values come straight from {!Absdom}; [v_to_json] gives
+   the serialized form the incremental report and DESIGN.md document. *)
+
+open Cheriot_core
+open Absdom
+
+type export_summary = {
+  xs_label : string;  (** export label, the linkage-graph edge key *)
+  xs_entry : int;  (** absolute entry pc of the export *)
+  xs_ret : v option;
+      (** abstract a0 at every return of the export, [None] when the
+          export provably never returns (or the fixpoint bailed out of
+          call summaries) *)
+}
+
+type t = {
+  sm_comp : string;
+  sm_key : string;  (** content hash (hex digest) the cache is keyed by *)
+  sm_exports : export_summary list;
+  sm_xcall_out : v option;
+      (** join of the a0 argument at every cross-compartment call site *)
+  sm_xcall_out_pc : int option;
+  sm_stored_xcall_pc : int option;
+      (** pc of a [Csc] provably storing an unmodified import-call
+          return value into the compartment's own globals *)
+  sm_findings : Rules.finding list;
+      (** the compartment-local (cfg/flow/irq/tmp) findings, in emission
+          order — cached together with the interface so a hash hit
+          skips the whole fixpoint *)
+}
+
+(* --- hashing ------------------------------------------------------------ *)
+
+(* Stdlib [Digest] (MD5) over NUL-separated parts: no new dependencies,
+   and collisions are not an attack surface here (the cache is a pure
+   memoization keyed by trusted loader state). *)
+let digest parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+(* --- cache -------------------------------------------------------------- *)
+
+type cache = { tbl : (string, t) Hashtbl.t }
+
+let create_cache () = { tbl = Hashtbl.create 16 }
+let find cache key = Hashtbl.find_opt cache.tbl key
+let add cache (s : t) = Hashtbl.replace cache.tbl s.sm_key s
+let cache_size cache = Hashtbl.length cache.tbl
+
+(* --- serialization ------------------------------------------------------ *)
+
+let tri_to_string = function
+  | Tri.True -> "true"
+  | Tri.False -> "false"
+  | Tri.Any -> "any"
+
+let v_to_json (x : v) =
+  let perms ps =
+    String.concat ","
+      (List.filter_map
+         (fun p -> if Perm.Set.mem p ps then Some (Perm.to_string p) else None)
+         Perm.all)
+  in
+  Printf.sprintf
+    "{\"tag\":\"%s\",\"sealed\":\"%s\",\"pmust\":\"%s\",\"pmay\":\"%s\",\
+     \"base\":[%d,%d],\"top\":[%d,%d],\"addr\":[%d,%d],\"xret\":\"%s\"}"
+    (tri_to_string x.tag)
+    (if must_sealed x then "true"
+     else if must_unsealed x then "false"
+     else "any")
+    (perms x.pmust) (perms x.pmay) x.base.Iv.lo x.base.Iv.hi x.top.Iv.lo
+    x.top.Iv.hi x.addr.Iv.lo x.addr.Iv.hi (tri_to_string x.xret)
+
+let opt_v_to_json = function None -> "null" | Some x -> v_to_json x
+
+let to_json (s : t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"compartment\":\"%s\",\"key\":\"%s\",\"exports\":["
+       (Rules.json_escape s.sm_comp)
+       (Rules.json_escape s.sm_key));
+  List.iteri
+    (fun i (e : export_summary) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"label\":\"%s\",\"entry\":%d,\"returns\":%s}"
+           (Rules.json_escape e.xs_label)
+           e.xs_entry (opt_v_to_json e.xs_ret)))
+    s.sm_exports;
+  Buffer.add_string b
+    (Printf.sprintf
+       "],\"xcall_out\":%s,\"stored_xcall_pc\":%s,\"findings\":%d}"
+       (opt_v_to_json s.sm_xcall_out)
+       (match s.sm_stored_xcall_pc with
+       | Some pc -> string_of_int pc
+       | None -> "null")
+       (List.length s.sm_findings));
+  Buffer.contents b

@@ -275,7 +275,11 @@ let optimize ~cheri (insns : Insn.t array) =
           end
       | None -> ());
       let d = def_of insns.(i) in
-      if d >= 0 then begin
+      (* Writes to register 0 are discarded ([set_reg]): c0 stays the
+         hardwired null, so a def of 0 changes nothing — facts survive,
+         and crucially the origin must NOT transfer, or a pass-2 guard
+         on the move's source would vouch for an access through null. *)
+      if d > 0 then begin
         facts.(d).ver <- facts.(d).ver + 1;
         origin.(d) <-
           (match insns.(i) with

@@ -56,6 +56,7 @@ let v_gen =
   iv_gen >>= fun top ->
   iv_gen >>= fun addr ->
   bool >>= fun from_load ->
+  tri_gen >>= fun xret ->
   (* maintain the representation invariant pmust ⊆ pmay *)
   return
     {
@@ -67,16 +68,22 @@ let v_gen =
       top;
       addr;
       from_load;
+      xret;
     }
 
 let pp_v (v : A.v) =
-  Printf.sprintf "{tag=%s; base=[%d,%d]; top=[%d,%d]; addr=[%d,%d]; load=%b}"
+  Printf.sprintf
+    "{tag=%s; base=[%d,%d]; top=[%d,%d]; addr=[%d,%d]; load=%b; xret=%s}"
     (match v.A.tag with
     | A.Tri.True -> "T"
     | A.Tri.False -> "F"
     | A.Tri.Any -> "?")
     v.A.base.A.Iv.lo v.A.base.A.Iv.hi v.A.top.A.Iv.lo v.A.top.A.Iv.hi
     v.A.addr.A.Iv.lo v.A.addr.A.Iv.hi v.A.from_load
+    (match v.A.xret with
+    | A.Tri.True -> "T"
+    | A.Tri.False -> "F"
+    | A.Tri.Any -> "?")
 
 let arb_v = QCheck.make ~print:pp_v v_gen
 let arb_vv = QCheck.pair arb_v arb_v
@@ -121,8 +128,9 @@ let t_join_invariant =
 (* Simulate exactly the fixpoint's per-block policy: plain joins for the
    first 8 visits, widened joins afterwards.  The chain must be monotone
    and stabilize: at most 8 pre-widen changes, then each change grows a
-   finite component (tag ≤ 2, ot ≤ 1, perms ≤ 24, from_load ≤ 1) or
-   widens an interval straight to full (≤ 1 each) — 40 covers it. *)
+   finite component (tag ≤ 2, ot ≤ 1, perms ≤ 24, from_load ≤ 1,
+   xret ≤ 2) or widens an interval straight to full (≤ 1 each) — 42
+   covers it. *)
 let t_widening_terminates =
   QCheck.Test.make ~name:"ascending chains stabilize under the 8-join budget"
     ~count:(Iters.count ~default:200)
@@ -146,7 +154,7 @@ let t_widening_terminates =
               if not (A.equal !state next) then incr changes;
               state := next)
             rest;
-          !monotone && !changes <= 40)
+          !monotone && !changes <= 42)
 
 let suite =
   List.map QCheck_alcotest.to_alcotest

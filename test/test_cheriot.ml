@@ -23,4 +23,5 @@ let () =
       ("absdom", Test_absdom.suite);
       ("audit", Test_audit.suite);
       ("planverify", Test_planverify.suite);
+      ("incremental", Test_incremental.suite);
     ]

@@ -1,0 +1,107 @@
+(* Tests for the incremental (summary-cache) audit mode (DESIGN.md §15).
+
+   Three layers:
+   - warm-cache identity: re-auditing every shipped and corpus image
+     through a primed cache reuses every compartment summary and
+     reproduces the cold report byte for byte;
+   - the qcheck property: over random multi-compartment scenarios, a
+     warm re-audit after a single-compartment code patch re-analyzes
+     exactly the patched compartment and still matches a from-scratch
+     audit byte for byte;
+   - the [Driver.incremental] exit-code contract. *)
+
+module Audit = Cheriot_analysis.Audit
+module Summary = Cheriot_analysis.Summary
+module Rules = Cheriot_analysis.Rules
+module Corpus = Cheriot_analysis.Corpus
+module Driver = Cheriot_analysis.Driver
+module Firmware = Cheriot_workloads.Firmware
+module Scenario = Cheriot_proptest.Scenario
+module Iters = Cheriot_proptest.Iters
+module Encode = Cheriot_isa.Encode
+module Asm = Cheriot_isa.Asm
+module Loader = Cheriot_rtos.Loader
+module Sram = Cheriot_mem.Sram
+
+let report name findings =
+  Rules.report_to_json [ (name, Rules.sort_findings findings) ]
+
+let all_images () =
+  Firmware.shipped
+  @ List.map
+      (fun (e : Corpus.entry) -> (e.Corpus.name, e.Corpus.build))
+      Corpus.entries
+
+(* Re-auditing an unchanged image through a primed cache must hit for
+   every compartment and reproduce the cold report exactly. *)
+let test_warm_identity () =
+  List.iter
+    (fun (name, build) ->
+      let cache = Summary.create_cache () in
+      let cold, _ = Audit.run_stats ~cache (build ()) in
+      let warm, st = Audit.run_stats ~cache (build ()) in
+      Alcotest.(check int)
+        (name ^ ": warm pass misses nothing")
+        0 st.Audit.cache_misses;
+      Alcotest.(check int)
+        (name ^ ": every summary reused")
+        st.Audit.compartments st.Audit.cache_hits;
+      Alcotest.(check string)
+        (name ^ ": warm report byte-identical")
+        (report name cold) (report name warm))
+    (all_images ())
+
+(* The scenario compiler places a patchable [Add a3, a3, 0] at a fixed
+   offset in every compartment's prologue; bumping its immediate is the
+   canonical one-compartment recompile. *)
+let patch_comp (t : Loader.t) j =
+  let b = Loader.find t (Scenario.comp_name j) in
+  Sram.write32 t.Loader.sram
+    (b.Loader.image.Asm.origin + Scenario.patch_offset)
+    (Encode.encode Scenario.patch_insn_after)
+
+let prop_incremental_equals_scratch (sc, seed) =
+  let cache = Summary.create_cache () in
+  let l0 = Scenario.link ~instrument:false sc in
+  ignore (Audit.run_stats ~cache l0.Scenario.t);
+  let j = seed mod l0.Scenario.n in
+  let warm_l = Scenario.link ~instrument:false sc in
+  patch_comp warm_l.Scenario.t j;
+  let warm, st = Audit.run_stats ~cache warm_l.Scenario.t in
+  let cold_l = Scenario.link ~instrument:false sc in
+  patch_comp cold_l.Scenario.t j;
+  let cold = Audit.run cold_l.Scenario.t in
+  if st.Audit.cache_misses <> 1 || st.Audit.cache_hits <> l0.Scenario.n - 1
+  then
+    QCheck.Test.fail_reportf
+      "cache stats off: %d compartments, %d hits, %d misses (patched c%d)"
+      l0.Scenario.n st.Audit.cache_hits st.Audit.cache_misses j;
+  let w = report "sc" warm and c = report "sc" cold in
+  if not (String.equal w c) then
+    QCheck.Test.fail_reportf "incremental diverged from scratch:@.%s@.vs@.%s"
+      w c;
+  true
+
+let t_incremental =
+  QCheck.Test.make
+    ~name:
+      "incremental re-audit = from-scratch under single-compartment patches"
+    ~count:(Iters.count ~default:25)
+    (QCheck.pair (Scenario.arb ()) QCheck.small_nat)
+    prop_incremental_equals_scratch
+
+let test_driver_contract () =
+  Alcotest.(check int) "incremental: unknown image is exit 2" 2
+    (Driver.incremental ~images:Firmware.shipped ~name:"nosuch" ());
+  Alcotest.(check int)
+    "incremental: shipped images reuse the cache and match cold (exit 0)" 0
+    (Driver.incremental ~images:Firmware.shipped ())
+
+let suite =
+  [
+    Alcotest.test_case "warm-cache re-audit byte-identical on every image"
+      `Quick test_warm_identity;
+    QCheck_alcotest.to_alcotest t_incremental;
+    Alcotest.test_case "Driver.incremental exit codes" `Quick
+      test_driver_contract;
+  ]

@@ -305,6 +305,11 @@ let prop_strengthening_monotone (prog, seed) =
 let test_driver_contract () =
   Alcotest.(check int) "plans: unknown image is exit 2" 2
     (Driver.plans ~images:Firmware.shipped ~name:"nosuch" ());
+  Alcotest.(check int) "plans: unknown --rule id is exit 2" 2
+    (Driver.plans ~images:Firmware.shipped ~name:"demo" ~rule:"nosuch-rule" ());
+  Alcotest.(check int) "plans: known --rule filter stays clean (exit 0)" 0
+    (Driver.plans ~images:Firmware.shipped ~name:"demo"
+       ~rule:Rules.plan_deferral ());
   Alcotest.(check int) "plans: isolation image proves clean (exit 0)" 0
     (Driver.plans ~images:Firmware.shipped ~name:"isolation" ());
   Alcotest.(check int) "plan-mutants: all refuted exactly (exit 0)" 0
